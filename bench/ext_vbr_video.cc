@@ -1,0 +1,47 @@
+// Extension: variable-bit-rate video over CTMSP.
+//
+// The paper's 150 KB/s target "simulates compressed video", but compressed video is not
+// constant-rate: key frames dwarf delta frames. This bench streams a VBR pattern (every
+// 10th packet is 3x the mean) at the same average rate as the CBR stream and compares
+// delivery quality and the buffer budget.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/ctms.h"
+
+namespace {
+
+void Run(const char* label, bool vbr, int jitter_packets) {
+  using namespace ctms;
+  ScenarioConfig config = TestCaseB();
+  config.vbr = vbr;
+  config.jitter_buffer_packets = jitter_packets;
+  config.duration = Minutes(5);
+  CtmsExperiment experiment(config);
+  const ExperimentReport report = experiment.Run();
+  const BufferBudget budget = ComputeBufferBudget(report.sink_latency.samples(),
+                                                  config.packet_bytes, config.packet_period);
+  std::printf("  %-24s lost=%-5llu underruns=%-5llu hist7 p98=%-10s budget=%lld B\n", label,
+              static_cast<unsigned long long>(report.packets_lost),
+              static_cast<unsigned long long>(report.sink_underruns),
+              FormatDuration(report.ground_truth.pre_tx_to_rx.Percentile(0.98)).c_str(),
+              static_cast<long long>(budget.bytes_needed));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ctms;
+  PrintHeader("Extension: CBR vs VBR (3x key frames every 10th packet), same mean rate");
+
+  Run("CBR 166 KB/s", false, 9);
+  Run("VBR 166 KB/s mean", true, 9);
+
+  std::printf(
+      "\nA 3x key frame takes ~3x the wire and DMA time (~30 ms end to end), blowing\n"
+      "through the schedule every tenth packet: the same mean rate needs a deeper buffer\n"
+      "budget than its CBR equivalent. Rate alone does not size a continuous-media system\n"
+      "— burstiness does.\n");
+  return 0;
+}

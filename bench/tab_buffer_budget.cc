@@ -1,0 +1,49 @@
+// Section 6's conclusion: buffer space for 150 KBytes/s of CTMSP data is under 25 KBytes,
+// even counting the worst case (40 ms ordinary worst case, 120-130 ms insertion points).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/ctms.h"
+
+int main() {
+  using namespace ctms;
+  PrintHeader("Section 6: receive buffer budget for the 150 KB/s class stream");
+
+  // A Test-Case-B hour with one insertion, so the worst case includes the 120-130 ms event.
+  ScenarioConfig config = TestCaseB();
+  config.duration = Minutes(30);
+  config.jitter_buffer_packets = 12;  // provision exactly the budget this bench derives
+  CtmsExperiment experiment(config);
+  experiment.Start();
+  experiment.sim().After(Minutes(11), [&]() { experiment.ring().TriggerStationInsertion(); });
+  experiment.sim().RunFor(config.duration);
+  const ExperimentReport report = experiment.Report();
+
+  const BufferBudget budget = ComputeBufferBudget(report.sink_latency.samples(),
+                                                  config.packet_bytes, config.packet_period);
+  std::printf("%s\n\n", RenderBufferBudget(budget).c_str());
+
+  // "Ordinary" worst case excludes the insertion events the paper discusses separately.
+  SimDuration ordinary_max = 0;
+  for (const SimDuration sample : report.ground_truth.pre_tx_to_rx.samples()) {
+    if (sample < Milliseconds(100) && sample > ordinary_max) {
+      ordinary_max = sample;
+    }
+  }
+  PrintRowHeader();
+  PrintRow("ordinary worst-case tx->rx", "40 ms", FormatDuration(ordinary_max));
+  PrintRow("exceptional worst case (insertion)", "120-130 ms",
+           FormatDuration(budget.max_latency));
+  PrintRow("buffer needed at 166 KB/s", "< 25 KBytes",
+           Fmt("%.0f bytes", static_cast<double>(budget.bytes_needed)));
+  PrintRow("actual peak sink occupancy in the run", "(not reported)",
+           Fmt("%.0f bytes", static_cast<double>(report.sink_peak_buffer)));
+  PrintRow("underruns with that buffering", "0",
+           Fmt("%.0f", static_cast<double>(report.sink_underruns)));
+
+  std::printf("\nPaper: 'Even with these exceptional data points, the buffer space needed for\n"
+              "150KBytes/sec CTMSP data transfer is under 25KBytes' — 'well within a\n"
+              "reasonable range to support ... Continuous Time Media Systems.'\n");
+  return 0;
+}

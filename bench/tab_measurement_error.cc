@@ -1,0 +1,101 @@
+// Section 5.2's measurement-tool error characterization: the same stream observed by every
+// instrument, compared against the simulator's ground truth.
+//
+// Paper's numbers:
+//   - the VCA interrupt source is solid to ~500 ns (oscilloscope, 5.2.2);
+//   - IRQ-to-handler-entry varies by up to 440 us under load (logic analyzer, 5.2.2);
+//   - the RT/PC pseudo-device clock has 122 us granularity and interacts with the system
+//     (5.2.1);
+//   - the PC/AT rig shows a ~120 us spread on both sides when timestamping the perfect
+//     12 ms source, with a 60 us worst-case poll loop (5.2.3).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/ctms.h"
+
+int main() {
+  using namespace ctms;
+  PrintHeader("Section 5.2: what each measurement tool reports vs ground truth (60 s)");
+
+  auto run_with = [](MeasurementMethod method) {
+    ScenarioConfig config = TestCaseB();
+    config.method = method;
+    config.duration = Seconds(60);
+    CtmsExperiment experiment(config);
+    return experiment.Run();
+  };
+
+  // --- the VCA source itself (logic analyzer = exact edges). The paper made these
+  // measurements in lab conditions (section 5.2.2), i.e. Test Case A's environment. -------
+  const ExperimentReport la = [] {
+    ScenarioConfig config = TestCaseA();
+    config.method = MeasurementMethod::kLogicAnalyzer;
+    config.duration = Seconds(60);
+    CtmsExperiment experiment(config);
+    return experiment.Run();
+  }();
+  const SummaryStats la_irq = la.measured.inter_irq.Summary();
+  PrintRowHeader();
+  PrintRow("VCA inter-IRQ deviation from 12 ms (max)", "~500 ns",
+           FormatDuration(std::max(la_irq.max - Milliseconds(12),
+                                   Milliseconds(12) - la_irq.min)),
+           "(logic analyzer)");
+  const SummaryStats la_hist5 = la.measured.irq_to_handler.Summary();
+  PrintRow("IRQ -> handler entry, p99", "<= 440 us",
+           FormatDuration(la.measured.irq_to_handler.Percentile(0.99)),
+           "(lab conditions, as measured)");
+  PrintRow("IRQ -> handler entry, absolute max", "(not seen)", FormatDuration(la_hist5.max),
+           "(rare long protected sections)");
+
+  // --- the PC/AT rig ------------------------------------------------------------------------
+  const ExperimentReport pcat = run_with(MeasurementMethod::kPcAt);
+  const SummaryStats pcat_irq = pcat.measured.inter_irq.Summary();
+  const SimDuration pcat_spread = std::max(pcat_irq.max - Milliseconds(12),
+                                           Milliseconds(12) - pcat_irq.min);
+  PrintRow("PC/AT spread timestamping the 12 ms source", "+/-120 us",
+           FormatDuration(pcat_spread), "(poll loop + handshake)");
+  const double truth_mean = pcat.ground_truth.pre_tx_to_rx.Summary().mean;
+  const double pcat_mean = pcat.measured.pre_tx_to_rx.Summary().mean;
+  PrintRow("PC/AT tx->rx mean error vs truth", "small",
+           FormatDuration(static_cast<SimDuration>(std::abs(pcat_mean - truth_mean))));
+
+  // --- the RT/PC pseudo-device -----------------------------------------------------------------
+  const ExperimentReport rtpc = run_with(MeasurementMethod::kRtPcPseudoDevice);
+  // Quantization signature: every stamp is a multiple of 122 us.
+  bool all_quantized = true;
+  for (const SimDuration sample : rtpc.measured.inter_handler.samples()) {
+    if (sample % Microseconds(122) != 0) {
+      all_quantized = false;
+      break;
+    }
+  }
+  PrintRow("pseudo-device clock granularity", "122 us",
+           all_quantized ? "122 us (verified)" : "VIOLATED");
+  const double rtpc_mean = rtpc.measured.handler_to_pre_tx.Summary().mean;
+  const double rtpc_truth = rtpc.ground_truth.handler_to_pre_tx.Summary().mean;
+  PrintRow("pseudo-device hist-6 mean bias", "(unbiased)",
+           FormatDuration(static_cast<SimDuration>(std::abs(rtpc_mean - rtpc_truth))),
+           "(quantization averages out; per-sample error is +/-122 us)");
+  PrintRow("pseudo-device sees the IRQ line?", "no",
+           rtpc.measured.inter_irq.count() == 0 ? "no (0 events)" : "YES?!");
+
+  // --- intrusiveness: the instrument perturbs the system it measures ---------------------------
+  const double hist6_under_pcat = pcat.ground_truth.handler_to_pre_tx.Summary().mean;
+  const double hist6_under_rtpc = rtpc.ground_truth.handler_to_pre_tx.Summary().mean;
+  PrintRow("true hist-6 mean while PC/AT attached", "baseline+5us/probe",
+           FormatDuration(static_cast<SimDuration>(hist6_under_pcat)));
+  PrintRow("true hist-6 mean while pseudo-dev attached", "baseline+25us/probe",
+           FormatDuration(static_cast<SimDuration>(hist6_under_rtpc)));
+
+  // --- logic analyzer limits -------------------------------------------------------------------
+  PrintRow("logic analyzer events captured", "trace-depth limited",
+           Fmt("%.0f", static_cast<double>(la.measured.inter_irq.count() +
+                                           la.measured.inter_handler.count() + 2)),
+           "(4096-sample memory; cannot build full histograms)");
+
+  std::printf("\nThe paper chose the PC/AT rig: fine-grained (2 us clock), externally\n"
+              "timestamped (low intrusion), with unlimited capture via the second machine.\n");
+  return 0;
+}

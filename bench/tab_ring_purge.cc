@@ -1,0 +1,88 @@
+// Section 5's Ring Purge reliability accounting.
+//
+// Paper: Ring Purges come from station insertions, about 20 per day (one an hour); a purge
+// is the sole uncorrectable source of dropped packets; out-of-order packets disappeared once
+// driver critical sections were fixed; with correction code, the loss is recoverable by
+// retransmitting from the fixed DMA buffer (receiver ignores duplicates).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/ctms.h"
+
+namespace {
+
+struct PurgeRun {
+  uint64_t insertions = 0;
+  uint64_t purges = 0;
+  uint64_t frames_lost = 0;
+  uint64_t stream_lost = 0;
+  uint64_t duplicates = 0;
+  uint64_t retransmissions = 0;
+  uint64_t late_recovered = 0;
+  uint64_t out_of_order = 0;
+};
+
+PurgeRun RunWithInsertions(bool retransmit_mode, uint64_t seed) {
+  using namespace ctms;
+  ScenarioConfig config = TestCaseB();
+  config.duration = Hours(2);  // a 2-hour slice of the ~1/hour insertion regime
+  config.insertion_mean = Minutes(20);  // compressed so the 2-hour run sees several
+  config.retransmit_on_purge = retransmit_mode;
+  config.seed = seed;
+  CtmsExperiment experiment(config);
+  const ExperimentReport report = experiment.Run();
+  PurgeRun run;
+  run.insertions = report.ring_insertions;
+  run.purges = report.ring_purges;
+  run.frames_lost = report.frames_lost_to_purge;
+  run.stream_lost = report.packets_lost;
+  run.duplicates = report.duplicates;
+  run.retransmissions = report.retransmissions;
+  run.late_recovered = report.late_recovered;
+  run.out_of_order = report.out_of_order;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ctms;
+  PrintHeader("Section 5: Ring Purges, insertions, and the recovery options (2 h runs)");
+
+  const PurgeRun accept = RunWithInsertions(/*retransmit_mode=*/false, 9);
+  const PurgeRun recover = RunWithInsertions(/*retransmit_mode=*/true, 9);
+
+  std::printf("  %-40s %-18s %-18s\n", "", "accept-loss mode", "retransmit mode");
+  std::printf("  %-40s %-18s %-18s\n", "", "----------------", "---------------");
+  std::printf("  %-40s %-18llu %-18llu\n", "station insertions",
+              static_cast<unsigned long long>(accept.insertions),
+              static_cast<unsigned long long>(recover.insertions));
+  std::printf("  %-40s %-18llu %-18llu\n", "ring purges (bursts of ~10 per insertion)",
+              static_cast<unsigned long long>(accept.purges),
+              static_cast<unsigned long long>(recover.purges));
+  std::printf("  %-40s %-18llu %-18llu\n", "frames destroyed on the wire",
+              static_cast<unsigned long long>(accept.frames_lost),
+              static_cast<unsigned long long>(recover.frames_lost));
+  std::printf("  %-40s %-18llu %-18llu\n", "stream packets lost (receiver view)",
+              static_cast<unsigned long long>(accept.stream_lost),
+              static_cast<unsigned long long>(recover.stream_lost));
+  std::printf("  %-40s %-18llu %-18llu\n", "retransmissions",
+              static_cast<unsigned long long>(accept.retransmissions),
+              static_cast<unsigned long long>(recover.retransmissions));
+  std::printf("  %-40s %-18llu %-18llu\n", "duplicates suppressed at receiver",
+              static_cast<unsigned long long>(accept.duplicates),
+              static_cast<unsigned long long>(recover.duplicates));
+  std::printf("  %-40s %-18llu %-18llu\n", "losses repaired by late retransmission",
+              static_cast<unsigned long long>(accept.late_recovered),
+              static_cast<unsigned long long>(recover.late_recovered));
+  std::printf("  %-40s %-18llu %-18llu\n", "out-of-order packets",
+              static_cast<unsigned long long>(accept.out_of_order),
+              static_cast<unsigned long long>(recover.out_of_order));
+
+  std::printf("\nPaper: insertions occur ~20/day (about one per hour); each loses at most a\n"
+              "packet or two; the paper 'decided that we could safely ignore this level of\n"
+              "lost packets by adding code to recover'. Out-of-order packets must be zero —\n"
+              "they 'completely disappeared' after the driver's critical sections were fixed.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Sweep background ring load and show what the two priority modifications (inside the
+// driver, and on the ring) buy the stream — the paper's section-3 design defended
+// empirically.
+
+#include <cstdio>
+
+#include "src/core/ctms.h"
+
+namespace {
+
+struct Cell {
+  double p98_hist6_ms;
+  double max_latency_ms;
+  unsigned long long underruns;
+};
+
+Cell Run(double load_scale, bool driver_priority, int ring_priority) {
+  using namespace ctms;
+  ScenarioConfig config = TestCaseB();
+  config.load_scale = load_scale;
+  config.driver_priority = driver_priority;
+  config.ring_priority = ring_priority;
+  config.duration = Seconds(45);
+  CtmsExperiment experiment(config);
+  const ExperimentReport report = experiment.Run();
+  Cell cell;
+  cell.p98_hist6_ms = static_cast<double>(report.ground_truth.handler_to_pre_tx.Percentile(0.98)) /
+                      static_cast<double>(kMillisecond);
+  cell.max_latency_ms =
+      static_cast<double>(report.ground_truth.pre_tx_to_rx.Summary().max) /
+      static_cast<double>(kMillisecond);
+  cell.underruns = report.sink_underruns;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Priorities under load: p98 handler->transmit / max tx->rx / underruns\n");
+  std::printf("(45 s per cell; load 1.0 = the paper's 'normal loading of network')\n\n");
+  std::printf("%-10s %-28s %-28s %-28s\n", "load", "no priorities",
+              "driver priority only", "driver + ring priority");
+  std::printf("%-10s %-28s %-28s %-28s\n", "----", "-------------", "--------------------",
+              "----------------------");
+  for (const double load : {0.5, 1.0, 2.0, 3.0}) {
+    const Cell none = Run(load, false, 0);
+    const Cell driver_only = Run(load, true, 0);
+    const Cell both = Run(load, true, 6);
+    char c1[40];
+    char c2[40];
+    char c3[40];
+    std::snprintf(c1, sizeof(c1), "%5.1f / %5.1f / %llu", none.p98_hist6_ms,
+                  none.max_latency_ms, none.underruns);
+    std::snprintf(c2, sizeof(c2), "%5.1f / %5.1f / %llu", driver_only.p98_hist6_ms,
+                  driver_only.max_latency_ms, driver_only.underruns);
+    std::snprintf(c3, sizeof(c3), "%5.1f / %5.1f / %llu", both.p98_hist6_ms,
+                  both.max_latency_ms, both.underruns);
+    std::printf("%-10.1f %-28s %-28s %-28s\n", load, c1, c2, c3);
+  }
+  std::printf("\nDriver priority keeps CTMSP ahead of the host's own ARP/IP output; ring\n"
+              "priority keeps it ahead of everyone else's. Both matter as load grows.\n");
+  return 0;
+}

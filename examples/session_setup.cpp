@@ -1,0 +1,151 @@
+// Session setup: the CTMSP-v2 connection layer (our proposal for the protocol the paper's
+// measurements were collected to define) running over the real simulated ring.
+//
+// CONNECT/ACCEPT ride the ordinary IP path (setup is not deadline-bound); once the session
+// reaches streaming, the VCA source starts and the receiver's responder reports STATUS every
+// 32 packets — buffer occupancy, highest sequence, losses — which the transmitter uses as a
+// liveness watchdog. At the end the transmitter closes the session cleanly. Then the demo
+// crashes the receiver mid-stream and shows the watchdog catching it.
+
+#include <cstdio>
+
+#include "src/core/ctms.h"
+
+namespace {
+
+using namespace ctms;
+
+constexpr uint8_t kIpProtoCtmsp2 = 200;
+
+// Packs a control message into the Packet descriptor (kind in port, fields in seq/ack_seq).
+Packet PackControl(Ctmsp2ControlKind kind, const Ctmsp2Status& status, RingAddress dst) {
+  Packet packet;
+  packet.ip_proto = kIpProtoCtmsp2;
+  packet.bytes = 64;
+  packet.dst = dst;
+  packet.port = static_cast<uint16_t>(kind);
+  packet.seq = status.highest_seq;
+  packet.ack_seq = static_cast<uint32_t>(status.buffer_bytes);
+  packet.is_ack = status.losses > 0;
+  return packet;
+}
+
+void UnpackControl(const Packet& packet, Ctmsp2ControlKind* kind, Ctmsp2Status* status) {
+  *kind = static_cast<Ctmsp2ControlKind>(packet.port);
+  status->highest_seq = packet.seq;
+  status->buffer_bytes = packet.ack_seq;
+  status->losses = packet.is_ack ? 1 : 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CTMSP-v2 session setup over the ring (CONNECT -> ACCEPT -> STATUS -> CLOSE)\n\n");
+
+  ScenarioConfig scenario = TestCaseA();
+  scenario.duration = Seconds(60);
+  CtmsExperiment experiment(scenario);
+
+  // Control plane: transmitter session on the tx host, responder on the rx host. Control
+  // packets ride the drivers' stock (ARP/IP-class) output path — setup and status are not
+  // deadline-bound; only the data path needs CTMSP's priorities.
+  const RingAddress tx_addr = experiment.tx_driver().address();
+  const RingAddress rx_addr = experiment.rx_driver().address();
+
+  Ctmsp2Responder responder(
+      Ctmsp2Responder::Config{},
+      [&](Ctmsp2ControlKind kind, const Ctmsp2Status& status) {
+        std::printf("  [rx %8lld us] sends %s\n",
+                    static_cast<long long>(ToMicroseconds(experiment.sim().Now())),
+                    Ctmsp2ControlKindName(kind));
+        experiment.rx_driver().Output(PackControl(kind, status, tx_addr));
+      });
+  Ctmsp2Session session(
+      &experiment.sim(), Ctmsp2Session::Config{},
+      [&](Ctmsp2ControlKind kind, const Ctmsp2Status& status) {
+        std::printf("  [tx %8lld us] sends %s\n",
+                    static_cast<long long>(ToMicroseconds(experiment.sim().Now())),
+                    Ctmsp2ControlKindName(kind));
+        experiment.tx_driver().Output(PackControl(kind, status, rx_addr));
+      });
+
+  // Route arriving protocol-200 packets to the state machines (the split point hands IP
+  // traffic up; we interpose on the drivers' IP input hooks).
+  experiment.tx_driver().SetIpInput([&](const Packet& packet) {
+    if (packet.ip_proto == kIpProtoCtmsp2) {
+      Ctmsp2ControlKind kind;
+      Ctmsp2Status status;
+      UnpackControl(packet, &kind, &status);
+      session.OnControl(kind, status);
+    }
+  });
+  experiment.rx_driver().SetIpInput([&](const Packet& packet) {
+    if (packet.ip_proto == kIpProtoCtmsp2) {
+      Ctmsp2ControlKind kind;
+      Ctmsp2Status status;
+      UnpackControl(packet, &kind, &status);
+      responder.OnControl(kind, status);
+    }
+  });
+
+  // Data plane: once streaming, every delivered CTMSP packet feeds the responder's STATUS
+  // bookkeeping.
+  experiment.rx_driver().SetCtmspInput([&](const Packet& packet, bool in_dma,
+                                           std::function<void()> release) {
+    experiment.sink().OnCtmspDeliver(packet, in_dma, std::move(release));
+    responder.OnDataPacket(packet.seq, experiment.sink().buffered_bytes(),
+                           static_cast<uint32_t>(experiment.receiver().lost()));
+  });
+
+  experiment.Start();
+  experiment.source().Stop();  // the session, not the experiment, decides when to stream
+
+  session.Connect([&](bool ok) {
+    std::printf("  [tx %8lld us] session %s\n",
+                static_cast<long long>(ToMicroseconds(experiment.sim().Now())),
+                ok ? "ESTABLISHED - starting the stream" : "FAILED");
+    if (ok) {
+      experiment.source().Start(VcaSourceDriver::OutputMode::kCtmspDirect, rx_addr);
+    }
+  });
+
+  experiment.sim().RunFor(Seconds(5));
+  std::printf("\nafter 5 s of streaming: state=%s, peer reports seq=%u buffer=%lld bytes\n",
+              Ctmsp2StateName(session.state()), session.last_status().highest_seq,
+              static_cast<long long>(session.last_status().buffer_bytes));
+
+  experiment.source().Stop();
+  session.Close();
+  experiment.sim().RunFor(Seconds(1));
+  std::printf("after close: state=%s, responder connected=%s\n\n",
+              Ctmsp2StateName(session.state()), responder.connected() ? "yes" : "no");
+
+  // --- crash demo: a new session, then the receiver dies mid-stream --------------------
+  std::printf("crash demo: receiver goes silent mid-stream...\n");
+  Ctmsp2Session second(&experiment.sim(), Ctmsp2Session::Config{},
+                       [&](Ctmsp2ControlKind kind, const Ctmsp2Status& status) {
+                         experiment.tx_driver().Output(PackControl(kind, status, rx_addr));
+                       });
+  // Route incoming control to the second session before it connects.
+  experiment.tx_driver().SetIpInput([&](const Packet& packet) {
+    if (packet.ip_proto == kIpProtoCtmsp2) {
+      Ctmsp2ControlKind kind;
+      Ctmsp2Status status;
+      UnpackControl(packet, &kind, &status);
+      second.OnControl(kind, status);
+    }
+  });
+  second.Connect(nullptr);
+  experiment.sim().RunFor(Seconds(1));
+  // Kill the receiver's control plane: no more STATUS.
+  experiment.rx_driver().SetIpInput([](const Packet&) {});
+  experiment.rx_driver().SetCtmspInput(
+      [](const Packet&, bool, std::function<void()> release) { release(); });
+  experiment.sim().RunFor(Seconds(10));
+  std::printf("watchdog verdict: state=%s (expected: failed)\n",
+              Ctmsp2StateName(second.state()));
+  return session.state() == Ctmsp2State::kClosed &&
+                 second.state() == Ctmsp2State::kFailed
+             ? 0
+             : 1;
+}

@@ -1,0 +1,138 @@
+// The stock-UNIX streaming path (the system the paper measured before modifying anything):
+// device -> kernel -> user-level relay process -> socket -> UDP (or TCP-lite) / IP -> stock
+// Token Ring driver, with fixed DMA buffers in system memory and no priorities anywhere.
+//
+// The paper's section-1 result: 16 KBytes/s "worked extremely well within the current UNIX
+// model"; 150 KBytes/s "failed completely". This experiment reproduces both, and reports
+// where the packets die (mbuf exhaustion, socket buffers, if_snd, ipintrq, adapter
+// overruns) and what the CPUs were doing.
+
+#ifndef SRC_CORE_BASELINE_H_
+#define SRC_CORE_BASELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/dev/tr_driver.h"
+#include "src/dev/vca.h"
+#include "src/hw/machine.h"
+#include "src/kern/process.h"
+#include "src/kern/unix_kernel.h"
+#include "src/measure/tap.h"
+#include "src/proto/arp.h"
+#include "src/proto/ip.h"
+#include "src/proto/tcp_lite.h"
+#include "src/proto/udp.h"
+#include "src/ring/adapter.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/simulation.h"
+#include "src/workload/kernel_activity.h"
+#include "src/workload/ring_traffic.h"
+
+namespace ctms {
+
+struct BaselineConfig {
+  std::string name = "stock-unix";
+  int64_t packet_bytes = 2000;               // 2000 B / 12 ms ~ 166 KB/s ("150KB/s" class)
+  SimDuration packet_period = Milliseconds(12);
+  MemoryKind dma_buffer_kind = MemoryKind::kSystemMemory;  // stock drivers used system memory
+  bool use_tcp = false;                      // false: UDP; true: TCP-lite with acks
+  bool public_network = true;                // normal campus background
+  bool timesharing = true;                   // the hosts run their normal daemons/users
+  SimDuration duration = Seconds(30);
+  uint64_t seed = 1;
+
+  double OfferedKBytesPerSecond() const {
+    return static_cast<double>(packet_bytes) / (ToSecondsF(packet_period) * 1000.0);
+  }
+};
+
+struct BaselineReport {
+  BaselineConfig config;
+  double offered_kbytes_per_sec = 0.0;
+  double delivered_kbytes_per_sec = 0.0;
+  uint64_t packets_captured = 0;  // produced by the device interrupt
+  uint64_t packets_delivered = 0;  // reached the presentation device buffer
+
+  // Where packets died.
+  uint64_t source_mbuf_drops = 0;
+  uint64_t tx_relay_rcvbuf_drops = 0;
+  uint64_t tx_ifsnd_drops = 0;
+  uint64_t rx_ipintr_drops = 0;
+  uint64_t rx_relay_rcvbuf_drops = 0;
+  uint64_t rx_adapter_overruns = 0;
+  uint64_t tcp_retransmits = 0;
+
+  uint64_t sink_underruns = 0;
+  Histogram end_to_end_latency{"baseline end-to-end latency"};
+
+  double tx_cpu_utilization = 0.0;
+  double rx_cpu_utilization = 0.0;
+  double ring_utilization = 0.0;
+
+  // "Failed completely" criterion: meaningful loss or sustained glitching. A few packets
+  // may legitimately still be in flight when the clock stops.
+  bool Sustained() const {
+    return packets_captured > 0 && packets_delivered + 3 >= packets_captured &&
+           static_cast<double>(packets_delivered) >=
+               0.999 * static_cast<double>(packets_captured) - 3.0 &&
+           sink_underruns == 0;
+  }
+
+  std::string Summary() const;
+};
+
+class BaselineExperiment {
+ public:
+  explicit BaselineExperiment(BaselineConfig config);
+
+  BaselineExperiment(const BaselineExperiment&) = delete;
+  BaselineExperiment& operator=(const BaselineExperiment&) = delete;
+  ~BaselineExperiment();
+
+  BaselineReport Run();
+
+  Simulation& sim() { return sim_; }
+  TokenRing& ring() { return ring_; }
+
+ private:
+  BaselineConfig config_;
+  Simulation sim_;
+  TokenRing ring_;
+  Machine tx_machine_;
+  Machine rx_machine_;
+  UnixKernel tx_kernel_;
+  UnixKernel rx_kernel_;
+  TokenRingAdapter tx_adapter_;
+  TokenRingAdapter rx_adapter_;
+  ProbeBus probes_;  // unused by the stock path but the driver wants one
+  TokenRingDriver tx_driver_;
+  TokenRingDriver rx_driver_;
+
+  ArpLayer tx_arp_;
+  ArpLayer rx_arp_;
+  IpLayer tx_ip_;
+  IpLayer rx_ip_;
+  UdpLayer tx_udp_;
+  UdpLayer rx_udp_;
+  std::unique_ptr<TcpLite> tx_tcp_;
+  std::unique_ptr<TcpLite> rx_tcp_;
+  TcpLiteEndpoint* tx_tcp_endpoint_ = nullptr;
+  TcpLiteEndpoint* rx_tcp_endpoint_ = nullptr;
+
+  VcaSourceDriver source_;
+  std::unique_ptr<RelayProcess> tx_relay_;
+  std::unique_ptr<RelayProcess> rx_relay_;
+  VcaSinkDriver sink_;
+
+  std::unique_ptr<KernelBackgroundActivity> tx_activity_;
+  std::unique_ptr<KernelBackgroundActivity> rx_activity_;
+  std::unique_ptr<MacFrameTraffic> mac_traffic_;
+  std::vector<std::unique_ptr<GhostTraffic>> ghosts_;
+  std::unique_ptr<CompetingProcess> tx_competing_;
+  std::unique_ptr<CompetingProcess> rx_competing_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_BASELINE_H_

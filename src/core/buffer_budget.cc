@@ -1,0 +1,37 @@
+#include "src/core/buffer_budget.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ctms {
+
+BufferBudget ComputeBufferBudget(const std::vector<SimDuration>& latencies, int64_t packet_bytes,
+                                 SimDuration packet_period) {
+  BufferBudget budget;
+  if (latencies.empty() || packet_period <= 0) {
+    return budget;
+  }
+  const auto [min_it, max_it] = std::minmax_element(latencies.begin(), latencies.end());
+  budget.min_latency = *min_it;
+  budget.max_latency = *max_it;
+  budget.worst_variation = budget.max_latency - budget.min_latency;
+  // While the slowest packet is in flight, packets keep arriving on the period grid; the
+  // buffer must hold everything produced during the worst variation, plus the packet being
+  // consumed.
+  const int64_t packets =
+      (budget.worst_variation + packet_period - 1) / packet_period + 1;
+  budget.packets_needed = static_cast<int>(packets);
+  budget.bytes_needed = packets * packet_bytes;
+  return budget;
+}
+
+std::string RenderBufferBudget(const BufferBudget& budget) {
+  std::ostringstream os;
+  os << "latency min " << FormatDuration(budget.min_latency) << ", max "
+     << FormatDuration(budget.max_latency) << ", variation "
+     << FormatDuration(budget.worst_variation) << " -> buffer " << budget.bytes_needed
+     << " bytes (" << budget.packets_needed << " packets)";
+  return os.str();
+}
+
+}  // namespace ctms

@@ -1,0 +1,37 @@
+// Section 6's buffer-space conclusion, computed from measured latencies.
+//
+// For a constant-rate stream, the receive-side buffering needed for glitch-free playout is
+// set by the worst-case spread of packet delivery delay: the playout point trails the
+// fastest packet by the worst-case latency variation, and everything that can arrive in the
+// meantime must be storable. The paper concludes that even with the 120-130 ms exceptional
+// points, 150 KBytes/s needs under 25 KBytes of buffer.
+
+#ifndef SRC_CORE_BUFFER_BUDGET_H_
+#define SRC_CORE_BUFFER_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ctms {
+
+struct BufferBudget {
+  SimDuration min_latency = 0;
+  SimDuration max_latency = 0;
+  SimDuration worst_variation = 0;  // max - min
+  int64_t bytes_needed = 0;         // rate x variation, rounded up to whole packets
+  int packets_needed = 0;
+};
+
+// Computes the budget from observed per-packet latencies for a stream of `packet_bytes`
+// every `packet_period`.
+BufferBudget ComputeBufferBudget(const std::vector<SimDuration>& latencies, int64_t packet_bytes,
+                                 SimDuration packet_period);
+
+std::string RenderBufferBudget(const BufferBudget& budget);
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_BUFFER_BUDGET_H_

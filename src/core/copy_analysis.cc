@@ -1,0 +1,87 @@
+#include "src/core/copy_analysis.h"
+
+#include <sstream>
+
+namespace ctms {
+
+const char* TransferModelName(TransferModel model) {
+  switch (model) {
+    case TransferModel::kUserProcess:
+      return "user-process";
+    case TransferModel::kDriverToDriver:
+      return "driver-to-driver";
+    case TransferModel::kPointerPassing:
+      return "pointer-passing";
+  }
+  return "?";
+}
+
+CopyCounts AnalyzeCopyPath(const DevicePathSpec& spec) {
+  CopyCounts counts;
+  // Input side: device into kernel. A DMA device lands in a fixed DMA buffer, and the
+  // driver then CPU-copies into mbufs (the "third copy" of section 2). A non-DMA device is
+  // CPU-copied straight into mbufs — one CPU copy either way, plus the DMA when present.
+  if (spec.source_dma) {
+    counts.dma += 1;
+  }
+  counts.cpu += 1;  // DMA buffer -> mbufs, or device -> mbufs
+
+  // Output side mirrors it: mbufs -> fixed DMA buffer (CPU), then DMA to the device; or a
+  // single CPU copy into a non-DMA device.
+  counts.cpu += 1;
+  if (spec.dest_dma) {
+    counts.dma += 1;
+  }
+
+  switch (spec.model) {
+    case TransferModel::kUserProcess:
+      // The relay adds the kernel->user and user->kernel copies.
+      counts.cpu += 2;
+      break;
+    case TransferModel::kDriverToDriver:
+      // The two kernel<->user copies are gone; nothing else changes.
+      break;
+    case TransferModel::kPointerPassing:
+      // Pointers to DMA buffers are exchanged instead of copying through mbufs: each
+      // DMA-capable side drops its CPU copy ("if only one of the two devices is capable of
+      // DMA, then only one copy can be eliminated").
+      if (spec.source_dma) {
+        counts.cpu -= 1;
+      }
+      if (spec.dest_dma) {
+        counts.cpu -= 1;
+      }
+      break;
+  }
+  return counts;
+}
+
+std::vector<CopyTableRow> CopyCountTable() {
+  std::vector<CopyTableRow> rows;
+  for (const TransferModel model : {TransferModel::kUserProcess, TransferModel::kDriverToDriver,
+                                    TransferModel::kPointerPassing}) {
+    for (const bool source_dma : {true, false}) {
+      for (const bool dest_dma : {true, false}) {
+        DevicePathSpec spec{model, source_dma, dest_dma};
+        rows.push_back(CopyTableRow{spec, AnalyzeCopyPath(spec)});
+      }
+    }
+  }
+  return rows;
+}
+
+std::string RenderCopyCountTable() {
+  std::ostringstream os;
+  os << "model             src-DMA dst-DMA  CPU-copies DMA-copies total\n";
+  for (const CopyTableRow& row : CopyCountTable()) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-17s %-7s %-7s  %10d %10d %5d\n",
+                  TransferModelName(row.spec.model), row.spec.source_dma ? "yes" : "no",
+                  row.spec.dest_dma ? "yes" : "no", row.counts.cpu, row.counts.dma,
+                  row.counts.total());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ctms

@@ -1,0 +1,55 @@
+// Section 2's copy-count analysis, as an executable model.
+//
+// The paper counts the data copies needed to move one packet between two devices under three
+// transfer models:
+//   - the stock UNIX user-process relay: "as many as six and as few as four" total copies,
+//     with "always four copies made by the CPU" (the DMA capabilities of the two devices
+//     account for the difference of two);
+//   - direct driver-to-driver transfer: eliminates the two kernel<->user copies;
+//   - pointer-passing between DMA buffers: eliminates all CPU copies when both devices do
+//     DMA, and one more copy when only one of them does.
+
+#ifndef SRC_CORE_COPY_ANALYSIS_H_
+#define SRC_CORE_COPY_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+namespace ctms {
+
+enum class TransferModel {
+  kUserProcess,     // stock UNIX: device -> kernel -> user -> kernel -> device
+  kDriverToDriver,  // the paper's modification
+  kPointerPassing,  // the paper's proposed further step
+};
+
+const char* TransferModelName(TransferModel model);
+
+struct DevicePathSpec {
+  TransferModel model = TransferModel::kUserProcess;
+  bool source_dma = true;
+  bool dest_dma = true;
+};
+
+struct CopyCounts {
+  int cpu = 0;
+  int dma = 0;
+  int total() const { return cpu + dma; }
+};
+
+// Copy counts for one packet traversing the path described by `spec`.
+CopyCounts AnalyzeCopyPath(const DevicePathSpec& spec);
+
+// All twelve combinations as table rows: model, src-DMA, dst-DMA, cpu, dma, total.
+struct CopyTableRow {
+  DevicePathSpec spec;
+  CopyCounts counts;
+};
+std::vector<CopyTableRow> CopyCountTable();
+
+// Rendered table (the section-2 result, plus the rows for the two proposed models).
+std::string RenderCopyCountTable();
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_COPY_ANALYSIS_H_

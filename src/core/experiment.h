@@ -1,0 +1,171 @@
+// CtmsExperiment: assembles the full testbed for a scenario — two RT/PC hosts on a Token
+// Ring, the modified drivers, a CTMSP connection, the chosen measurement instrument, TAP on
+// the ring, and the background environment — runs it, and reports the paper's histograms
+// plus delivery/CPU/ring statistics.
+
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/scenario.h"
+#include "src/dev/tr_driver.h"
+#include "src/dev/vca.h"
+#include "src/hw/machine.h"
+#include "src/kern/process.h"
+#include "src/kern/unix_kernel.h"
+#include "src/measure/interval_analyzer.h"
+#include "src/measure/recorders.h"
+#include "src/measure/tap.h"
+#include "src/proto/arp.h"
+#include "src/proto/ctmsp.h"
+#include "src/proto/ip.h"
+#include "src/proto/udp.h"
+#include "src/ring/adapter.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/simulation.h"
+#include "src/workload/host_service.h"
+#include "src/workload/kernel_activity.h"
+#include "src/workload/ring_traffic.h"
+
+namespace ctms {
+
+struct ExperimentReport {
+  ScenarioConfig config;
+
+  // The paper's histograms 1-7 as seen by the configured instrument, and by the simulator's
+  // perfect observer (so measurement error itself can be studied).
+  PaperHistograms measured;
+  PaperHistograms ground_truth;
+
+  // Stream accounting.
+  uint64_t irq_count = 0;
+  uint64_t packets_built = 0;
+  uint64_t packets_delivered = 0;
+  uint64_t packets_lost = 0;
+  uint64_t duplicates = 0;
+  uint64_t out_of_order = 0;
+  uint64_t source_mbuf_drops = 0;
+  uint64_t source_queue_drops = 0;
+  uint64_t retransmissions = 0;
+  uint64_t late_recovered = 0;  // purge losses repaired by a late retransmission
+
+  // Presentation quality.
+  uint64_t sink_underruns = 0;
+  int64_t sink_peak_buffer = 0;
+  Histogram sink_latency{"sink latency"};
+
+  // System load.
+  double tx_cpu_utilization = 0.0;
+  double rx_cpu_utilization = 0.0;
+  double ring_utilization = 0.0;
+
+  // Ring events.
+  uint64_t ring_purges = 0;
+  uint64_t ring_insertions = 0;
+  uint64_t frames_lost_to_purge = 0;
+
+  // TAP's view of the CTMSP stream and of the ring.
+  TapMonitor::StreamReport tap_ctmsp;
+  double tap_mac_fraction = 0.0;
+
+  // Copy accounting (per machine, whole run).
+  uint64_t tx_cpu_copies = 0;
+  uint64_t rx_cpu_copies = 0;
+  uint64_t tx_dma_copies = 0;
+  uint64_t rx_dma_copies = 0;
+
+  // Multi-line human-readable digest.
+  std::string Summary() const;
+};
+
+class CtmsExperiment {
+ public:
+  explicit CtmsExperiment(ScenarioConfig config);
+
+  CtmsExperiment(const CtmsExperiment&) = delete;
+  CtmsExperiment& operator=(const CtmsExperiment&) = delete;
+  // Drains the CPUs first: queued jobs hold packets whose mbuf chains live in the kernels,
+  // which member order would otherwise destroy before the machines.
+  ~CtmsExperiment();
+
+  // Starts the stream and environment, runs for config.duration, and reports.
+  ExperimentReport Run();
+
+  // Finer-grained control for examples and tests: Start the machinery, advance time
+  // yourself, then Report().
+  void Start();
+  ExperimentReport Report();
+
+  // --- component access -----------------------------------------------------------------
+  Simulation& sim() { return sim_; }
+  TokenRing& ring() { return ring_; }
+  Machine& tx_machine() { return tx_machine_; }
+  Machine& rx_machine() { return rx_machine_; }
+  TokenRingDriver& tx_driver() { return tx_driver_; }
+  TokenRingDriver& rx_driver() { return rx_driver_; }
+  VcaSourceDriver& source() { return source_; }
+  VcaSinkDriver& sink() { return sink_; }
+  CtmspTransmitter& transmitter() { return transmitter_; }
+  CtmspReceiver& receiver() { return receiver_; }
+  ProbeBus& probes() { return probes_; }
+  TapMonitor& tap() { return tap_; }
+  GroundTruthRecorder& ground_truth() { return ground_truth_; }
+  PcAtTimestamper* pcat() { return pcat_.get(); }
+
+ private:
+  std::vector<ProbeEvent> MeasuredEvents() const;
+
+  ScenarioConfig config_;
+  Simulation sim_;
+  TokenRing ring_;
+  Machine tx_machine_;
+  Machine rx_machine_;
+  UnixKernel tx_kernel_;
+  UnixKernel rx_kernel_;
+  TokenRingAdapter tx_adapter_;
+  TokenRingAdapter rx_adapter_;
+  ProbeBus probes_;
+  TokenRingDriver tx_driver_;
+  TokenRingDriver rx_driver_;
+
+  ArpLayer tx_arp_;
+  ArpLayer rx_arp_;
+  IpLayer tx_ip_;
+  IpLayer rx_ip_;
+  UdpLayer tx_udp_;
+  UdpLayer rx_udp_;
+
+  CtmspTransmitter transmitter_;
+  CtmspReceiver receiver_;
+  VcaSourceDriver source_;
+  VcaSinkDriver sink_;
+
+  GroundTruthRecorder ground_truth_;
+  std::unique_ptr<RtPcPseudoDevice> rtpc_;
+  std::unique_ptr<PcAtTimestamper> pcat_;
+  std::unique_ptr<LogicAnalyzer> logic_;
+  TapMonitor tap_;
+
+  std::unique_ptr<KernelBackgroundActivity> tx_activity_;
+  std::unique_ptr<KernelBackgroundActivity> rx_activity_;
+  std::unique_ptr<MacFrameTraffic> mac_traffic_;
+  std::vector<std::unique_ptr<GhostTraffic>> ghosts_;
+  std::unique_ptr<CompetingProcess> tx_competing_;
+  std::unique_ptr<CompetingProcess> rx_competing_;
+  std::unique_ptr<ControlServiceProcess> tx_control_;
+  std::unique_ptr<ControlServiceProcess> rx_control_;
+  std::unique_ptr<AfsClientDaemon> tx_afs_;
+  std::unique_ptr<AfsClientDaemon> rx_afs_;
+  std::unique_ptr<AfsClientDaemon> tx_upload_;
+  std::unique_ptr<AfsClientDaemon> rx_upload_;
+  std::unique_ptr<InsertionSchedule> insertions_;
+
+  bool started_ = false;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_EXPERIMENT_H_

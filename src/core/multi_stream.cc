@@ -1,0 +1,149 @@
+#include "src/core/multi_stream.h"
+
+#include <sstream>
+#include <utility>
+
+namespace ctms {
+
+MultiStreamExperiment::MultiStreamExperiment(MultiStreamConfig config)
+    : config_(std::move(config)), sim_(config_.seed), ring_(&sim_) {
+  for (int i = 0; i < config_.streams; ++i) {
+    auto stream = std::make_unique<Stream>();
+    stream->tx = MakeHost("tx" + std::to_string(i));
+    stream->rx = MakeHost("rx" + std::to_string(i));
+
+    CtmspConnectionConfig conn;
+    conn.peer = stream->rx.adapter->address();
+    conn.ring_priority = config_.ring_priority;
+    stream->transmitter = std::make_unique<CtmspTransmitter>(conn);
+    stream->receiver = std::make_unique<CtmspReceiver>(conn);
+
+    VcaSourceDriver::Config source_config;
+    source_config.packet_bytes = config_.packet_bytes;
+    source_config.period = config_.packet_period;
+    stream->source = std::make_unique<VcaSourceDriver>(
+        stream->tx.kernel.get(), stream->tx.driver.get(), &probes_, stream->transmitter.get(),
+        source_config);
+
+    VcaSinkDriver::Config sink_config;
+    sink_config.playout_bytes = config_.packet_bytes;
+    sink_config.playout_period = config_.packet_period;
+    sink_config.prime_packets = 5;  // shared-ring queueing needs a little more smoothing
+    stream->sink = std::make_unique<VcaSinkDriver>(stream->rx.kernel.get(),
+                                                   stream->receiver.get(), sink_config);
+
+    VcaSinkDriver* sink = stream->sink.get();
+    stream->rx.driver->SetCtmspInput(
+        [sink](const Packet& packet, bool in_dma, std::function<void()> release) {
+          sink->OnCtmspDeliver(packet, in_dma, std::move(release));
+        });
+    streams_.push_back(std::move(stream));
+  }
+
+  mac_traffic_ = std::make_unique<MacFrameTraffic>(&ring_, sim_.rng().Fork(),
+                                                   MacFrameTraffic::Config{config_.mac_fraction});
+  if (config_.background_keepalives) {
+    GhostTraffic::Config keepalive;
+    keepalive.interarrival_mean = Milliseconds(120);
+    keepalives_ = std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), keepalive);
+  }
+}
+
+MultiStreamExperiment::~MultiStreamExperiment() {
+  // Queued CPU jobs hold mbuf chains owned by each host's kernel; drain first.
+  for (auto& stream : streams_) {
+    stream->tx.machine->cpu().CancelAll();
+    stream->rx.machine->cpu().CancelAll();
+  }
+}
+
+MultiStreamExperiment::Host MultiStreamExperiment::MakeHost(const std::string& name) {
+  Host host;
+  host.machine = std::make_unique<Machine>(&sim_, name);
+  host.kernel = std::make_unique<UnixKernel>(host.machine.get());
+  TokenRingAdapter::Config adapter_config;
+  adapter_config.dma_buffer_kind = config_.dma_buffer_kind;
+  host.adapter =
+      std::make_unique<TokenRingAdapter>(host.machine.get(), &ring_, adapter_config);
+  TokenRingDriver::Config driver_config;
+  driver_config.ctms_mode = true;
+  driver_config.ctmsp_ring_priority = config_.ring_priority;
+  host.driver = std::make_unique<TokenRingDriver>(host.kernel.get(), host.adapter.get(),
+                                                  &probes_, driver_config);
+  host.activity =
+      std::make_unique<KernelBackgroundActivity>(host.machine.get(), sim_.rng().Fork());
+  return host;
+}
+
+MultiStreamReport MultiStreamExperiment::Run() {
+  for (auto& stream : streams_) {
+    stream->tx.machine->StartHardclock();
+    stream->rx.machine->StartHardclock();
+    stream->tx.activity->Start();
+    stream->rx.activity->Start();
+  }
+  mac_traffic_->Start();
+  if (keepalives_ != nullptr) {
+    keepalives_->Start();
+  }
+  // Stagger stream starts across one period so sources do not fire in lockstep.
+  SimDuration stagger = 0;
+  const SimDuration step = config_.packet_period / (config_.streams + 1);
+  for (auto& stream : streams_) {
+    VcaSourceDriver* source = stream->source.get();
+    const RingAddress dst = stream->rx.adapter->address();
+    sim_.After(stagger, [source, dst]() {
+      source->Start(VcaSourceDriver::OutputMode::kCtmspDirect, dst);
+    });
+    stagger += step;
+  }
+  sim_.RunFor(config_.duration);
+
+  MultiStreamReport report;
+  report.config = config_;
+  for (auto& stream : streams_) {
+    StreamQuality quality;
+    quality.built = stream->source->packets_built();
+    quality.delivered = stream->receiver->delivered();
+    quality.lost = stream->receiver->lost();
+    quality.queue_drops = stream->source->queue_drops();
+    quality.underruns = stream->sink->underruns();
+    if (!stream->sink->latency().empty()) {
+      const SummaryStats stats = stream->sink->latency().Summary();
+      quality.mean_latency = static_cast<SimDuration>(stats.mean);
+      quality.max_latency = stats.max;
+    }
+    report.streams.push_back(quality);
+  }
+  report.ring_utilization = ring_.Utilization();
+  return report;
+}
+
+bool MultiStreamReport::AllSustained() const {
+  for (const StreamQuality& stream : streams) {
+    if (stream.built == 0 || stream.lost > 0 || stream.underruns > 0 ||
+        stream.queue_drops > 0 || stream.delivered + 2 < stream.built) {
+      return false;
+    }
+  }
+  return !streams.empty();
+}
+
+std::string MultiStreamReport::Summary() const {
+  std::ostringstream os;
+  os << config.streams << " streams of "
+     << static_cast<double>(config.packet_bytes) / (ToSecondsF(config.packet_period) * 1000.0)
+     << " KB/s: ring " << ring_utilization * 100.0 << "% busy, "
+     << (AllSustained() ? "ALL SUSTAINED" : "DEGRADED") << "\n";
+  int index = 0;
+  for (const StreamQuality& stream : streams) {
+    os << "  stream " << index++ << ": " << stream.delivered << "/" << stream.built
+       << " delivered, " << stream.lost << " lost, " << stream.queue_drops << " drops, "
+       << stream.underruns << " underruns, latency mean "
+       << FormatDuration(stream.mean_latency) << " max " << FormatDuration(stream.max_latency)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ctms

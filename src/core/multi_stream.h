@@ -1,0 +1,107 @@
+// Multi-stream capacity: several independent CTMSP connections sharing one 4 Mbit ring.
+//
+// The paper streams one 150 KB/s-class connection and leaves capacity unexplored. This
+// experiment answers the obvious next question — how many such streams fit — by putting N
+// transmitter/receiver host pairs on the ring, each running the full modified stack, and
+// reporting per-stream delivery quality as the wire saturates (each 2000-byte/12 ms stream
+// takes ~34% of the ring, so the interesting range is 1..3).
+
+#ifndef SRC_CORE_MULTI_STREAM_H_
+#define SRC_CORE_MULTI_STREAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/scenario.h"
+#include "src/dev/tr_driver.h"
+#include "src/dev/vca.h"
+#include "src/hw/machine.h"
+#include "src/kern/unix_kernel.h"
+#include "src/measure/probe.h"
+#include "src/proto/ctmsp.h"
+#include "src/ring/adapter.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/simulation.h"
+#include "src/workload/kernel_activity.h"
+#include "src/workload/ring_traffic.h"
+
+namespace ctms {
+
+struct MultiStreamConfig {
+  int streams = 2;
+  int64_t packet_bytes = 2000;
+  SimDuration packet_period = Milliseconds(12);
+  MemoryKind dma_buffer_kind = MemoryKind::kIoChannelMemory;
+  int ring_priority = 6;  // all streams share the priority level (FIFO among them)
+  double mac_fraction = 0.002;
+  bool background_keepalives = true;
+  SimDuration duration = Seconds(30);
+  uint64_t seed = 1;
+};
+
+struct StreamQuality {
+  uint64_t built = 0;
+  uint64_t delivered = 0;
+  uint64_t lost = 0;
+  uint64_t queue_drops = 0;
+  uint64_t underruns = 0;
+  SimDuration mean_latency = 0;  // source interrupt to presentation
+  SimDuration max_latency = 0;
+};
+
+struct MultiStreamReport {
+  MultiStreamConfig config;
+  std::vector<StreamQuality> streams;
+  double ring_utilization = 0.0;
+  // True when every stream delivered everything glitch-free.
+  bool AllSustained() const;
+  std::string Summary() const;
+};
+
+class MultiStreamExperiment {
+ public:
+  explicit MultiStreamExperiment(MultiStreamConfig config);
+
+  MultiStreamExperiment(const MultiStreamExperiment&) = delete;
+  MultiStreamExperiment& operator=(const MultiStreamExperiment&) = delete;
+  ~MultiStreamExperiment();
+
+  MultiStreamReport Run();
+
+  Simulation& sim() { return sim_; }
+  TokenRing& ring() { return ring_; }
+
+ private:
+  // One endpoint host (transmit or receive side of a stream).
+  struct Host {
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<UnixKernel> kernel;
+    std::unique_ptr<TokenRingAdapter> adapter;
+    std::unique_ptr<TokenRingDriver> driver;
+    std::unique_ptr<KernelBackgroundActivity> activity;
+  };
+
+  struct Stream {
+    Host tx;
+    Host rx;
+    std::unique_ptr<CtmspTransmitter> transmitter;
+    std::unique_ptr<CtmspReceiver> receiver;
+    std::unique_ptr<VcaSourceDriver> source;
+    std::unique_ptr<VcaSinkDriver> sink;
+  };
+
+  Host MakeHost(const std::string& name);
+
+  MultiStreamConfig config_;
+  Simulation sim_;
+  TokenRing ring_;
+  ProbeBus probes_;  // shared; per-stream analysis uses the receivers directly
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::unique_ptr<MacFrameTraffic> mac_traffic_;
+  std::unique_ptr<GhostTraffic> keepalives_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_MULTI_STREAM_H_

@@ -1,0 +1,121 @@
+// The CTMSP router the paper deferred.
+//
+// Footnote 5: "If we did not [keep source and destination on one ring] then we would have
+// the additional problem of creating a router that could keep up with the data rates that we
+// were using. This is possible but has not been implemented." Here it is: a third RT/PC-class
+// machine with one Token Ring adapter on each of two rings, forwarding a CTMSP connection
+// driver-to-driver — the receive split point on ring A hands the packet (still in, or copied
+// out of, the fixed DMA buffer) straight to the ring-B driver's priority queue. No user
+// process, no IP, exactly the paper's transfer model applied to forwarding.
+
+#ifndef SRC_CORE_ROUTER_H_
+#define SRC_CORE_ROUTER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/scenario.h"
+#include "src/dev/tr_driver.h"
+#include "src/dev/vca.h"
+#include "src/hw/machine.h"
+#include "src/kern/unix_kernel.h"
+#include "src/measure/histogram.h"
+#include "src/measure/probe.h"
+#include "src/proto/ctmsp.h"
+#include "src/ring/adapter.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/simulation.h"
+#include "src/workload/kernel_activity.h"
+#include "src/workload/ring_traffic.h"
+
+namespace ctms {
+
+struct RouterConfig {
+  int64_t packet_bytes = 2000;
+  SimDuration packet_period = Milliseconds(12);
+  MemoryKind dma_buffer_kind = MemoryKind::kIoChannelMemory;
+  // Forwarding mode: copy the packet into router mbufs between the two drivers (robust,
+  // two CPU copies) or pass it zero-copy from rx DMA buffer to the B-side transmit
+  // (pointer passing; the rx buffer is held until the B-side DMA has read it).
+  bool forward_via_mbufs = true;
+  double mac_fraction = 0.002;
+  bool background = true;  // keep-alive chatter on both rings
+  SimDuration duration = Seconds(30);
+  uint64_t seed = 1;
+};
+
+struct RouterReport {
+  RouterConfig config;
+  uint64_t packets_built = 0;
+  uint64_t packets_forwarded = 0;
+  uint64_t packets_delivered = 0;
+  uint64_t packets_lost = 0;
+  uint64_t router_queue_drops = 0;
+  uint64_t sink_underruns = 0;
+  double router_cpu_utilization = 0.0;
+  double ring_a_utilization = 0.0;
+  double ring_b_utilization = 0.0;
+  Histogram end_to_end{"router end-to-end latency"};
+  bool KeepsUp() const {
+    return packets_built > 0 && packets_lost == 0 && sink_underruns == 0 &&
+           packets_delivered + 3 >= packets_built;
+  }
+  std::string Summary() const;
+};
+
+class RouterExperiment {
+ public:
+  explicit RouterExperiment(RouterConfig config);
+
+  RouterExperiment(const RouterExperiment&) = delete;
+  RouterExperiment& operator=(const RouterExperiment&) = delete;
+  ~RouterExperiment();
+
+  RouterReport Run();
+
+  Simulation& sim() { return sim_; }
+  TokenRing& ring_a() { return ring_a_; }
+  TokenRing& ring_b() { return ring_b_; }
+  Machine& router_machine() { return *router_machine_; }
+
+ private:
+  RouterConfig config_;
+  Simulation sim_;
+  TokenRing ring_a_;
+  TokenRing ring_b_;
+  ProbeBus probes_;
+
+  // Source host on ring A.
+  std::unique_ptr<Machine> src_machine_;
+  std::unique_ptr<UnixKernel> src_kernel_;
+  std::unique_ptr<TokenRingAdapter> src_adapter_;
+  std::unique_ptr<TokenRingDriver> src_driver_;
+
+  // The router, on both rings.
+  std::unique_ptr<Machine> router_machine_;
+  std::unique_ptr<UnixKernel> router_kernel_;
+  std::unique_ptr<TokenRingAdapter> router_a_adapter_;
+  std::unique_ptr<TokenRingAdapter> router_b_adapter_;
+  std::unique_ptr<TokenRingDriver> router_a_driver_;
+  std::unique_ptr<TokenRingDriver> router_b_driver_;
+  uint64_t forwarded_ = 0;
+
+  // Sink host on ring B.
+  std::unique_ptr<Machine> dst_machine_;
+  std::unique_ptr<UnixKernel> dst_kernel_;
+  std::unique_ptr<TokenRingAdapter> dst_adapter_;
+  std::unique_ptr<TokenRingDriver> dst_driver_;
+
+  std::unique_ptr<CtmspTransmitter> transmitter_;
+  std::unique_ptr<CtmspReceiver> receiver_;
+  std::unique_ptr<VcaSourceDriver> source_;
+  std::unique_ptr<VcaSinkDriver> sink_;
+
+  std::vector<std::unique_ptr<KernelBackgroundActivity>> activities_;
+  std::vector<std::unique_ptr<MacFrameTraffic>> mac_traffic_;
+  std::vector<std::unique_ptr<GhostTraffic>> keepalives_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_ROUTER_H_

@@ -1,0 +1,52 @@
+#include "src/core/scenario.h"
+
+namespace ctms {
+
+const char* MeasurementMethodName(MeasurementMethod method) {
+  switch (method) {
+    case MeasurementMethod::kGroundTruth:
+      return "ground-truth";
+    case MeasurementMethod::kRtPcPseudoDevice:
+      return "rtpc-pseudo-device";
+    case MeasurementMethod::kPcAt:
+      return "pcat-timestamper";
+    case MeasurementMethod::kLogicAnalyzer:
+      return "logic-analyzer";
+  }
+  return "?";
+}
+
+ScenarioConfig TestCaseA() {
+  ScenarioConfig config;
+  config.name = "test-case-A";
+  config.dma_buffer_kind = MemoryKind::kIoChannelMemory;
+  config.tx_copy_vca_to_mbufs = false;
+  config.rx_copy_dma_to_mbufs = true;
+  config.rx_copy_mbufs_to_device = false;
+  config.driver_priority = true;
+  config.ring_priority = 6;
+  config.public_network = false;
+  config.multiprocessing = false;
+  config.mac_fraction = 0.002;  // "0.2% of the network in this completely unloaded test case"
+  config.method = MeasurementMethod::kPcAt;
+  return config;
+}
+
+ScenarioConfig TestCaseB() {
+  ScenarioConfig config;
+  config.name = "test-case-B";
+  config.dma_buffer_kind = MemoryKind::kIoChannelMemory;
+  config.tx_copy_vca_to_mbufs = true;
+  config.rx_copy_dma_to_mbufs = true;
+  config.rx_copy_mbufs_to_device = true;
+  config.driver_priority = true;
+  config.ring_priority = 6;
+  config.public_network = true;
+  config.multiprocessing = true;
+  config.mac_fraction = 0.005;
+  config.method = MeasurementMethod::kPcAt;
+  config.jitter_buffer_packets = 9;  // the loaded ring needs more smoothing (section 6)
+  return config;
+}
+
+}  // namespace ctms

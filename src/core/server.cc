@@ -1,0 +1,146 @@
+#include "src/core/server.h"
+
+#include <sstream>
+#include <utility>
+
+namespace ctms {
+
+ServerExperiment::ServerExperiment(ServerConfig config)
+    : config_(std::move(config)), sim_(config_.seed), ring_(&sim_) {
+  server_machine_ = std::make_unique<Machine>(&sim_, "server");
+  server_kernel_ = std::make_unique<UnixKernel>(server_machine_.get());
+  disk_ = std::make_unique<MediaDisk>(server_machine_.get());
+  TokenRingAdapter::Config adapter_config;
+  adapter_config.dma_buffer_kind = config_.dma_buffer_kind;
+  server_adapter_ =
+      std::make_unique<TokenRingAdapter>(server_machine_.get(), &ring_, adapter_config);
+  TokenRingDriver::Config driver_config;
+  driver_config.ctms_mode = true;
+  server_driver_ = std::make_unique<TokenRingDriver>(server_kernel_.get(),
+                                                     server_adapter_.get(), &probes_,
+                                                     driver_config);
+  server_activity_ =
+      std::make_unique<KernelBackgroundActivity>(server_machine_.get(), sim_.rng().Fork());
+
+  for (int i = 0; i < config_.clients; ++i) {
+    const std::string title = "movie" + std::to_string(i);
+    disk_->CreateFile(title, config_.file_bytes);
+
+    auto client = std::make_unique<Client>();
+    client->machine = std::make_unique<Machine>(&sim_, "client" + std::to_string(i));
+    client->kernel = std::make_unique<UnixKernel>(client->machine.get());
+    client->adapter =
+        std::make_unique<TokenRingAdapter>(client->machine.get(), &ring_, adapter_config);
+    client->driver = std::make_unique<TokenRingDriver>(client->kernel.get(),
+                                                       client->adapter.get(), &probes_,
+                                                       driver_config);
+    client->activity =
+        std::make_unique<KernelBackgroundActivity>(client->machine.get(), sim_.rng().Fork());
+
+    CtmspConnectionConfig conn;
+    conn.peer = client->adapter->address();
+    client->transmitter = std::make_unique<CtmspTransmitter>(conn);
+    client->receiver = std::make_unique<CtmspReceiver>(conn);
+
+    MediaServerSource::Config stream_config;
+    stream_config.file = title;
+    stream_config.packet_bytes = config_.packet_bytes;
+    stream_config.period = config_.packet_period;
+    stream_config.read_chunk_bytes = config_.read_chunk_bytes;
+    client->stream = std::make_unique<MediaServerSource>(
+        server_kernel_.get(), disk_.get(), server_driver_.get(), &probes_,
+        client->transmitter.get(), stream_config);
+
+    VcaSinkDriver::Config sink_config;
+    sink_config.playout_bytes = config_.packet_bytes;
+    sink_config.playout_period = config_.packet_period;
+    sink_config.prime_packets = 6;  // disk service jitter needs smoothing
+    client->sink = std::make_unique<VcaSinkDriver>(client->kernel.get(),
+                                                   client->receiver.get(), sink_config);
+    VcaSinkDriver* sink = client->sink.get();
+    client->driver->SetCtmspInput(
+        [sink](const Packet& packet, bool in_dma, std::function<void()> release) {
+          sink->OnCtmspDeliver(packet, in_dma, std::move(release));
+        });
+    clients_.push_back(std::move(client));
+  }
+
+  ring_.AddPassiveStations(8);
+  mac_traffic_ = std::make_unique<MacFrameTraffic>(&ring_, sim_.rng().Fork(),
+                                                   MacFrameTraffic::Config{config_.mac_fraction});
+}
+
+ServerExperiment::~ServerExperiment() {
+  // Queued CPU jobs hold mbuf chains owned by the kernels; drain first.
+  server_machine_->cpu().CancelAll();
+  for (auto& client : clients_) {
+    client->machine->cpu().CancelAll();
+  }
+}
+
+ServerReport ServerExperiment::Run() {
+  server_machine_->StartHardclock();
+  server_activity_->Start();
+  mac_traffic_->Start();
+  SimDuration stagger = 0;
+  for (auto& client : clients_) {
+    client->machine->StartHardclock();
+    client->activity->Start();
+    MediaServerSource* stream = client->stream.get();
+    const RingAddress dst = client->adapter->address();
+    sim_.After(stagger, [stream, dst]() { stream->Start(dst); });
+    stagger += config_.packet_period / (config_.clients + 1);
+  }
+  sim_.RunFor(config_.duration);
+
+  ServerReport report;
+  report.config = config_;
+  for (auto& client : clients_) {
+    ServerClientQuality quality;
+    quality.sent = client->stream->packets_sent();
+    quality.delivered = client->receiver->delivered();
+    quality.lost = client->receiver->lost();
+    quality.server_starvations = client->stream->starvations();
+    quality.underruns = client->sink->underruns();
+    report.clients.push_back(quality);
+  }
+  report.server_cpu_utilization = server_machine_->cpu().Utilization();
+  report.disk_utilization = disk_->Utilization();
+  report.disk_sequential_fraction =
+      disk_->stats().reads == 0
+          ? 0.0
+          : static_cast<double>(disk_->stats().sequential_reads) /
+                static_cast<double>(disk_->stats().reads);
+  report.disk_worst_service = disk_->stats().worst_service;
+  report.ring_utilization = ring_.Utilization();
+  return report;
+}
+
+bool ServerReport::AllSustained() const {
+  for (const ServerClientQuality& client : clients) {
+    if (client.sent == 0 || client.lost > 0 || client.underruns > 0 ||
+        client.server_starvations > 0) {
+      return false;
+    }
+  }
+  return !clients.empty();
+}
+
+std::string ServerReport::Summary() const {
+  std::ostringstream os;
+  os << config.clients << " client(s), " << config.read_chunk_bytes / 1024
+     << " KB read-ahead: " << (AllSustained() ? "ALL SUSTAINED" : "DEGRADED") << "\n";
+  os << "  server CPU " << server_cpu_utilization * 100.0 << "%  disk "
+     << disk_utilization * 100.0 << "% busy (" << disk_sequential_fraction * 100.0
+     << "% sequential, worst service " << FormatDuration(disk_worst_service) << ")  ring "
+     << ring_utilization * 100.0 << "%\n";
+  int index = 0;
+  for (const ServerClientQuality& client : clients) {
+    os << "  client " << index++ << ": " << client.delivered << "/" << client.sent
+       << " delivered, " << client.lost << " lost, " << client.server_starvations
+       << " disk starvations, " << client.underruns << " underruns\n";
+  }
+  return os.str();
+}
+
+}  // namespace ctms

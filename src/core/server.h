@@ -1,0 +1,104 @@
+// ServerExperiment: one media server (a machine with a disk and a Token Ring adapter)
+// streaming files to N client machines over CTMSP — the distributed-multimedia deployment
+// the paper's prototype pointed at, with the disk's mechanics in the loop.
+
+#ifndef SRC_CORE_SERVER_H_
+#define SRC_CORE_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dev/disk.h"
+#include "src/dev/media_server.h"
+#include "src/dev/tr_driver.h"
+#include "src/dev/vca.h"
+#include "src/hw/machine.h"
+#include "src/kern/unix_kernel.h"
+#include "src/measure/probe.h"
+#include "src/proto/ctmsp.h"
+#include "src/ring/adapter.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/simulation.h"
+#include "src/workload/kernel_activity.h"
+#include "src/workload/ring_traffic.h"
+
+namespace ctms {
+
+struct ServerConfig {
+  int clients = 1;
+  int64_t packet_bytes = 2000;
+  SimDuration packet_period = Milliseconds(12);
+  int64_t file_bytes = 40 * 1024 * 1024;  // one ~40 MB media file per client
+  int64_t read_chunk_bytes = 16 * 1024;   // the read-ahead knob
+  MemoryKind dma_buffer_kind = MemoryKind::kIoChannelMemory;
+  double mac_fraction = 0.002;
+  SimDuration duration = Seconds(30);
+  uint64_t seed = 1;
+};
+
+struct ServerClientQuality {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t lost = 0;
+  uint64_t server_starvations = 0;  // ticks the disk had not staged a packet in time
+  uint64_t underruns = 0;
+};
+
+struct ServerReport {
+  ServerConfig config;
+  std::vector<ServerClientQuality> clients;
+  double server_cpu_utilization = 0.0;
+  double disk_utilization = 0.0;
+  double disk_sequential_fraction = 0.0;
+  SimDuration disk_worst_service = 0;
+  double ring_utilization = 0.0;
+  bool AllSustained() const;
+  std::string Summary() const;
+};
+
+class ServerExperiment {
+ public:
+  explicit ServerExperiment(ServerConfig config);
+
+  ServerExperiment(const ServerExperiment&) = delete;
+  ServerExperiment& operator=(const ServerExperiment&) = delete;
+  ~ServerExperiment();
+
+  ServerReport Run();
+
+  Simulation& sim() { return sim_; }
+  MediaDisk& disk() { return *disk_; }
+
+ private:
+  struct Client {
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<UnixKernel> kernel;
+    std::unique_ptr<TokenRingAdapter> adapter;
+    std::unique_ptr<TokenRingDriver> driver;
+    std::unique_ptr<CtmspTransmitter> transmitter;  // server-side connection state
+    std::unique_ptr<CtmspReceiver> receiver;
+    std::unique_ptr<MediaServerSource> stream;
+    std::unique_ptr<VcaSinkDriver> sink;
+    std::unique_ptr<KernelBackgroundActivity> activity;
+  };
+
+  ServerConfig config_;
+  Simulation sim_;
+  TokenRing ring_;
+  ProbeBus probes_;
+
+  std::unique_ptr<Machine> server_machine_;
+  std::unique_ptr<UnixKernel> server_kernel_;
+  std::unique_ptr<MediaDisk> disk_;
+  std::unique_ptr<TokenRingAdapter> server_adapter_;
+  std::unique_ptr<TokenRingDriver> server_driver_;
+  std::unique_ptr<KernelBackgroundActivity> server_activity_;
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<MacFrameTraffic> mac_traffic_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_SERVER_H_

@@ -1,0 +1,111 @@
+#include "src/dev/media_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ctms {
+
+MediaServerSource::MediaServerSource(UnixKernel* kernel, MediaDisk* disk,
+                                     TokenRingDriver* driver, ProbeBus* probes,
+                                     CtmspTransmitter* connection, Config config)
+    : kernel_(kernel),
+      disk_(disk),
+      driver_(driver),
+      probes_(probes),
+      connection_(connection),
+      config_(std::move(config)) {}
+
+void MediaServerSource::Start(RingAddress dst) {
+  Stop();
+  dst_ = dst;
+  if (!connection_->header_ready()) {
+    kernel_->machine()->cpu().SubmitInterrupt("server-ioctl-setup", Spl::kImp,
+                                              driver_->HeaderComputeCost(), nullptr);
+    connection_->MarkHeaderReady();
+  }
+  Pump();
+  Simulation* sim = kernel_->sim();
+  // Priming delay: let read-ahead fill before the first tick.
+  timer_cancel_ = SchedulePeriodic(sim, sim->Now() + config_.priming, config_.period,
+                                   [this]() { OnTick(); });
+}
+
+void MediaServerSource::Stop() {
+  if (timer_cancel_) {
+    timer_cancel_();
+    timer_cancel_ = nullptr;
+  }
+}
+
+void MediaServerSource::Pump() {
+  const int64_t file_size = disk_->FileSize(config_.file);
+  if (file_size <= 0) {
+    return;
+  }
+  while (staged_bytes_ + inflight_bytes_ + config_.read_chunk_bytes <=
+         config_.staging_capacity_bytes) {
+    if (file_offset_ >= file_size) {
+      if (!config_.loop) {
+        return;
+      }
+      file_offset_ = 0;  // wrap: the head will seek back to the extent start
+    }
+    const int64_t chunk = std::min(config_.read_chunk_bytes, file_size - file_offset_);
+    inflight_bytes_ += chunk;
+    ++disk_reads_;
+    disk_->Read(config_.file, file_offset_, chunk, [this, chunk](bool ok) {
+      inflight_bytes_ -= chunk;
+      if (ok) {
+        staged_bytes_ += chunk;
+      }
+      Pump();
+    });
+    file_offset_ += chunk;
+  }
+}
+
+void MediaServerSource::OnTick() {
+  if (staged_bytes_ < config_.packet_bytes) {
+    ++starvations_;  // the disk did not keep up; this period's packet is lost to the client
+    Pump();
+    return;
+  }
+  staged_bytes_ -= config_.packet_bytes;
+  const uint32_t seq = connection_->NextSeq();
+  // Send-timer handler: build the packet and copy the staged kernel data into mbufs, then
+  // hand it driver-to-driver (the paper's transfer model, with the disk as the source
+  // device).
+  Cpu::Job job;
+  job.name = "server-tick";
+  job.level = Spl::kImp;
+  job.steps.push_back(Cpu::Step{config_.tick_cost, nullptr, Spl::kImp});
+  UnixKernel::AppendSteps(&job.steps,
+                          kernel_->CopySteps(config_.packet_bytes, MemoryKind::kSystemMemory,
+                                             MemoryKind::kSystemMemory, Spl::kImp));
+  job.steps.push_back(Cpu::Step{
+      0,
+      [this, seq]() {
+        std::optional<MbufChain> chain = kernel_->mbufs().Allocate(config_.packet_bytes);
+        if (!chain.has_value()) {
+          ++mbuf_drops_;
+          return;
+        }
+        Packet packet;
+        packet.protocol = ProtocolId::kCtmsp;
+        packet.bytes = config_.packet_bytes;
+        packet.seq = seq;
+        packet.dst = dst_;
+        packet.created_at = kernel_->sim()->Now();
+        packet.mbuf_segments = chain->segments();
+        packet.chain = std::make_shared<MbufChain>(std::move(*chain));
+        ++packets_sent_;
+        if (!driver_->OutputCtmsp(packet)) {
+          ++queue_drops_;
+        }
+      },
+      Spl::kImp});
+  kernel_->machine()->cpu().SubmitInterrupt(std::move(job));
+  Pump();
+}
+
+}  // namespace ctms

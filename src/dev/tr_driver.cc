@@ -1,0 +1,269 @@
+#include "src/dev/tr_driver.h"
+
+#include <utility>
+
+namespace ctms {
+
+TokenRingDriver::TokenRingDriver(UnixKernel* kernel, TokenRingAdapter* adapter, ProbeBus* probes,
+                                 Config config)
+    : kernel_(kernel),
+      adapter_(adapter),
+      probes_(probes),
+      config_(config),
+      ctmsp_q_("tr-ctmsp", config.ctmsp_queue_limit),
+      snd_q_("tr-snd", config.snd_queue_limit),
+      ipintr_q_("ipintr", config.ipintr_queue_limit) {
+  adapter_->SetReceiveHandler([this](const Frame& frame) { OnRxDmaComplete(frame); });
+}
+
+bool TokenRingDriver::Output(const Packet& packet) {
+  const bool ok = snd_q_.Enqueue(packet);
+  if (ok) {
+    StartNextTx();
+  }
+  return ok;
+}
+
+bool TokenRingDriver::OutputCtmsp(const Packet& packet) {
+  // Without the driver-priority modification the CTMSP packet takes its chances in the
+  // common if_snd queue behind ARP and IP.
+  const bool use_priority_queue = config_.ctms_mode && config_.driver_priority;
+  const bool ok = use_priority_queue ? ctmsp_q_.Enqueue(packet) : snd_q_.Enqueue(packet);
+  if (ok) {
+    StartNextTx();
+  }
+  return ok;
+}
+
+void TokenRingDriver::RetransmitCtmsp(uint32_t seq, int64_t bytes) {
+  Packet packet;
+  packet.protocol = ProtocolId::kCtmsp;
+  packet.seq = seq;
+  packet.bytes = bytes;
+  packet.dst = last_ctmsp_dst_;
+  packet.created_at = kernel_->sim()->Now();
+  ++retransmit_requests_;
+  if (config_.ctms_mode && config_.driver_priority) {
+    ctmsp_q_.Requeue(packet);
+  } else {
+    snd_q_.Requeue(packet);
+  }
+  StartNextTx();
+}
+
+void TokenRingDriver::StartNextTx() {
+  // The paper's sequence-preservation constraint: one packet is sent completely (wire
+  // completion, signalled by the transmit-complete interrupt) before the next is touched.
+  if (tx_in_progress_) {
+    return;
+  }
+  bool is_ctmsp = false;
+  std::optional<Packet> next;
+  if (config_.ctms_mode && config_.driver_priority && !ctmsp_q_.empty()) {
+    next = ctmsp_q_.Dequeue();
+    is_ctmsp = true;
+  } else {
+    next = snd_q_.Dequeue();
+    if (next.has_value()) {
+      is_ctmsp = next->protocol == ProtocolId::kCtmsp;
+    }
+  }
+  if (!next.has_value()) {
+    return;
+  }
+  tx_in_progress_ = true;
+  TransmitPacket(std::move(*next), is_ctmsp);
+}
+
+void TokenRingDriver::TransmitPacket(Packet packet, bool is_ctmsp) {
+  const MemoryKind buffer_kind = adapter_->config().dma_buffer_kind;
+  Cpu::Job job;
+  job.name = "tr-start";
+  job.level = Spl::kImp;
+  job.steps.push_back(Cpu::Step{config_.tx_start_overhead, nullptr, Spl::kImp});
+  if (config_.ctms_mode && config_.zero_copy_tx && is_ctmsp) {
+    // Pointer passing (section 2's proposed further step): swing the adapter's transmit
+    // descriptor onto the mbuf cluster. No bytes move through the CPU.
+    job.steps.push_back(Cpu::Step{config_.zero_copy_flip_cost, nullptr, Spl::kImp});
+  } else {
+    // Copy the mbuf chain into the fixed transmit DMA buffer. The chain reference held by
+    // the job is dropped when the job completes — the data lives in the buffer from here on.
+    UnixKernel::AppendSteps(&job.steps,
+                            kernel_->CopySteps(packet.bytes, MemoryKind::kSystemMemory,
+                                               buffer_kind, Spl::kImp));
+  }
+  // Measurement point 3: after the copy, immediately before the transmit command. The
+  // in-line recording code (a port write, a procedure call) costs real time here.
+  if (is_ctmsp) {
+    const uint32_t seq = packet.seq;
+    job.steps.push_back(Cpu::Step{probes_->inline_cost(),
+                                  [this, seq]() {
+                                    probes_->Emit(ProbePoint::kPreTransmit, seq,
+                                                  kernel_->sim()->Now());
+                                  },
+                                  Spl::kImp});
+  }
+  const int priority =
+      is_ctmsp && config_.ctms_mode ? config_.ctmsp_ring_priority : 0;
+  job.steps.push_back(Cpu::Step{
+      config_.tx_command_cost,
+      [this, packet, is_ctmsp, priority]() {
+        Frame frame;
+        frame.kind = FrameKind::kLlc;
+        frame.dst = packet.dst;
+        frame.priority = priority;
+        frame.protocol = packet.protocol;
+        frame.payload_bytes = packet.bytes;
+        frame.seq = packet.seq;
+        frame.ip_proto = packet.ip_proto;
+        frame.port = packet.port;
+        frame.is_ack = packet.is_ack;
+        frame.ack_seq = packet.ack_seq;
+        frame.created_at = packet.created_at;
+        if (is_ctmsp) {
+          ++ctmsp_tx_;
+          last_ctmsp_dst_ = packet.dst;
+          if (ctmsp_tx_notify_) {
+            ctmsp_tx_notify_(packet.seq, packet.bytes);
+          }
+        } else {
+          ++stock_tx_;
+        }
+        adapter_->IssueTransmit(std::move(frame), [this](const TokenRingAdapter::TxStatus& s) {
+          OnTxComplete(s);
+        });
+      },
+      Spl::kImp});
+  kernel_->machine()->cpu().SubmitInterrupt(std::move(job));
+}
+
+void TokenRingDriver::OnTxComplete(const TokenRingAdapter::TxStatus& status) {
+  (void)status;  // the stock driver cannot see purge hits; MAC mode handles them separately
+  kernel_->machine()->cpu().SubmitInterrupt("tr-tx-complete", Spl::kImp,
+                                            config_.tx_complete_cost, [this]() {
+    tx_in_progress_ = false;
+    StartNextTx();
+  });
+}
+
+void TokenRingDriver::OnRxDmaComplete(const Frame& frame) {
+  // Build the rx interrupt handler job: entry, then the split point, then the per-protocol
+  // tail (copy into mbufs and hand upward, or driver-to-driver delivery in place).
+  Packet packet;
+  packet.protocol = frame.protocol;
+  packet.bytes = frame.payload_bytes;
+  packet.seq = frame.seq;
+  packet.src = frame.src;
+  packet.dst = frame.dst;
+  packet.ip_proto = frame.ip_proto;
+  packet.port = frame.port;
+  packet.is_ack = frame.is_ack;
+  packet.ack_seq = frame.ack_seq;
+  packet.created_at = frame.created_at;
+
+  const MemoryKind buffer_kind = adapter_->config().dma_buffer_kind;
+  Cpu::Job job;
+  job.name = "tr-rx";
+  job.level = Spl::kImp;
+  job.steps.push_back(Cpu::Step{config_.rx_entry_cost, nullptr, Spl::kImp});
+
+  if (frame.protocol == ProtocolId::kCtmsp && config_.ctms_mode) {
+    // The split point peels CTMSP off first; measurement point 4 fires the instant the
+    // packet is known to be CTMSP.
+    job.steps.push_back(Cpu::Step{config_.classify_cost + probes_->inline_cost(),
+                                  [this, packet]() {
+                                    ++rx_ctmsp_;
+                                    probes_->Emit(ProbePoint::kRxClassified, packet.seq,
+                                                  kernel_->sim()->Now());
+                                  },
+                                  Spl::kImp});
+    if (config_.rx_copy_ctmsp_to_mbufs) {
+      job.steps.push_back(Cpu::Step{config_.mbuf_alloc_cost, nullptr, Spl::kImp});
+      UnixKernel::AppendSteps(&job.steps,
+                              kernel_->CopySteps(packet.bytes, buffer_kind,
+                                                 MemoryKind::kSystemMemory, Spl::kImp));
+      job.steps.push_back(Cpu::Step{0,
+                                    [this, packet]() {
+                                      adapter_->ReleaseRxBuffer();
+                                      if (ctmsp_input_) {
+                                        ctmsp_input_(packet, /*in_dma_buffer=*/false, []() {});
+                                      }
+                                    },
+                                    Spl::kImp});
+    } else {
+      // Driver-to-driver in place: the destination device examines the packet in the fixed
+      // DMA buffer and releases it when done.
+      job.steps.push_back(Cpu::Step{0,
+                                    [this, packet]() {
+                                      if (ctmsp_input_) {
+                                        ctmsp_input_(packet, /*in_dma_buffer=*/true,
+                                                     [this]() { adapter_->ReleaseRxBuffer(); });
+                                      } else {
+                                        adapter_->ReleaseRxBuffer();
+                                      }
+                                    },
+                                    Spl::kImp});
+    }
+  } else {
+    // Stock path: classify, allocate mbufs, copy the packet out of the DMA buffer, then
+    // queue for protocol processing at splnet.
+    job.steps.push_back(Cpu::Step{config_.classify_cost, nullptr, Spl::kImp});
+    job.steps.push_back(Cpu::Step{config_.mbuf_alloc_cost, nullptr, Spl::kImp});
+    UnixKernel::AppendSteps(&job.steps,
+                            kernel_->CopySteps(packet.bytes, buffer_kind,
+                                               MemoryKind::kSystemMemory, Spl::kImp));
+    job.steps.push_back(Cpu::Step{0,
+                                  [this, packet]() {
+                                    adapter_->ReleaseRxBuffer();
+                                    if (packet.protocol == ProtocolId::kArp) {
+                                      ++rx_arp_;
+                                      if (arp_input_) {
+                                        arp_input_(packet);
+                                      }
+                                      return;
+                                    }
+                                    ++rx_ip_;
+                                    if (ipintr_q_.Enqueue(packet)) {
+                                      DrainIpintr();
+                                    }
+                                  },
+                                  Spl::kImp});
+  }
+  kernel_->machine()->cpu().SubmitInterrupt(std::move(job));
+}
+
+void TokenRingDriver::DrainIpintr() {
+  if (ipintr_scheduled_) {
+    return;
+  }
+  ipintr_scheduled_ = true;
+  // The softnet-style drain: one packet per pass at splnet, rescheduling while work remains.
+  kernel_->machine()->cpu().SubmitInterrupt("ipintr", Spl::kNet, Microseconds(20), [this]() {
+    ipintr_scheduled_ = false;
+    std::optional<Packet> packet = ipintr_q_.Dequeue();
+    if (packet.has_value() && ip_input_) {
+      ip_input_(*packet);
+    }
+    if (!ipintr_q_.empty()) {
+      DrainIpintr();
+    }
+  });
+}
+
+void TokenRingDriver::EnablePurgeDetect(std::function<void()> on_purge) {
+  on_purge_ = std::move(on_purge);
+  // The real adapter could not do this at all (proprietary ROM software); ours models what
+  // it would cost if it could.
+  adapter_->set_receive_mac_frames(true);
+  adapter_->SetMacFrameHandler([this](const Frame& frame) {
+    kernel_->machine()->cpu().SubmitInterrupt("tr-mac", Spl::kImp, config_.mac_parse_cost,
+                                              [this, frame]() {
+      ++mac_interrupts_;
+      if (frame.mac_type == MacFrameType::kRingPurge && on_purge_) {
+        on_purge_();
+      }
+    });
+  });
+}
+
+}  // namespace ctms

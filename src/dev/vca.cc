@@ -1,0 +1,313 @@
+#include "src/dev/vca.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ctms {
+
+VcaSourceDriver::VcaSourceDriver(UnixKernel* kernel, TokenRingDriver* tr_driver, ProbeBus* probes,
+                                 CtmspTransmitter* connection, Config config)
+    : kernel_(kernel),
+      tr_driver_(tr_driver),
+      probes_(probes),
+      connection_(connection),
+      config_(config) {}
+
+void VcaSourceDriver::Start(OutputMode mode, RingAddress dst,
+                            std::function<void(const Packet&)> deliver) {
+  Stop();
+  mode_ = mode;
+  dst_ = dst;
+  deliver_ = std::move(deliver);
+  if (mode_ == OutputMode::kCtmspDirect && connection_ != nullptr &&
+      !connection_->header_ready()) {
+    // The setup ioctl: request the Token Ring header once and keep it as device state.
+    kernel_->machine()->cpu().SubmitInterrupt("vca-ioctl-setup", Spl::kImp,
+                                              tr_driver_->HeaderComputeCost(), nullptr);
+    connection_->MarkHeaderReady();
+  }
+  Simulation* sim = kernel_->sim();
+  // The DSP's first tick lands one period out; jitter is drawn per interrupt around the
+  // exact 12 ms grid (the grid itself never drifts — the paper's oscilloscope finding).
+  // Tick state is reference-cycle-free: the pending event and the cancel closure are the
+  // only owners.
+  struct TickState : std::enable_shared_from_this<TickState> {
+    VcaSourceDriver* driver = nullptr;
+    Simulation* sim = nullptr;
+    SimTime t0 = 0;
+    int64_t n = 0;
+    bool cancelled = false;
+
+    void ScheduleNext() {
+      if (cancelled) {
+        return;
+      }
+      ++n;
+      SimTime target = t0 + n * driver->config_.period;
+      if (driver->config_.irq_jitter_sigma > 0) {
+        target += sim->rng().NormalDuration(0, driver->config_.irq_jitter_sigma,
+                                            -4 * driver->config_.irq_jitter_sigma);
+      }
+      if (target < sim->Now()) {
+        target = sim->Now();
+      }
+      auto self = shared_from_this();
+      sim->At(target, [self]() {
+        if (self->cancelled) {
+          return;
+        }
+        self->driver->OnIrq();
+        self->ScheduleNext();
+      });
+    }
+  };
+  auto state = std::make_shared<TickState>();
+  state->driver = this;
+  state->sim = sim;
+  state->t0 = sim->Now();
+  state->ScheduleNext();
+  cancel_ = [state]() { state->cancelled = true; };
+}
+
+void VcaSourceDriver::Stop() {
+  if (cancel_) {
+    cancel_();
+    cancel_ = nullptr;
+  }
+}
+
+int64_t VcaSourceDriver::WirePacketBytes(const Config& config, uint32_t n) {
+  double bytes = static_cast<double>(config.packet_bytes);
+  if (config.vbr) {
+    // Key frames are vbr_key_scale x the mean; delta frames shrink so the mean holds:
+    // (scale + (k-1) * delta) / k = 1  =>  delta = (k - scale) / (k - 1).
+    const double k = config.vbr_key_interval;
+    const double delta_scale = (k - config.vbr_key_scale) / (k - 1.0);
+    bytes *= (n % config.vbr_key_interval == 0) ? config.vbr_key_scale : delta_scale;
+  }
+  if (config.compression != CompressionSite::kNone) {
+    bytes /= config.compression_ratio;
+  }
+  return bytes < 1.0 ? 1 : static_cast<int64_t>(bytes);
+}
+
+void VcaSourceDriver::OnIrq() {
+  ++interrupts_;
+  const SimTime now = kernel_->sim()->Now();
+  // Measurement point 1: the interrupt request line itself (hardware edge; external tools
+  // see it with no software cost).
+  probes_->Emit(ProbePoint::kVcaIrq, static_cast<uint32_t>(interrupts_), now);
+
+  Cpu::Job job;
+  job.name = "vca-intr";
+  job.level = Spl::kImp;
+  // Measurement point 2: entry into the interrupt handler (after dispatch), with the
+  // in-line recording cost of whichever tool is attached.
+  job.steps.push_back(Cpu::Step{probes_->inline_cost(),
+                                [this]() {
+                                  probes_->Emit(ProbePoint::kVcaHandlerEntry,
+                                                static_cast<uint32_t>(interrupts_),
+                                                kernel_->sim()->Now());
+                                },
+                                Spl::kImp});
+
+  if (mode_ == OutputMode::kCtmspDirect) {
+    const uint32_t seq = connection_->NextSeq();
+    const int64_t wire_bytes = WirePacketBytes(config_, seq);
+    // Build the packet: allocate the chain, store the precomputed header, the destination
+    // device number and the packet number.
+    job.steps.push_back(Cpu::Step{config_.build_cost,
+                                  [this]() {
+                                    // Chain allocation happens in the action so pool
+                                    // occupancy reflects interrupt-time reality.
+                                  },
+                                  Spl::kImp});
+    if (config_.copy_device_data) {
+      job.steps.push_back(
+          Cpu::Step{config_.device_bytes * config_.pio_per_byte, nullptr, Spl::kImp});
+    }
+    if (config_.compression == CompressionSite::kHost) {
+      // The software codec chews every raw byte on the host CPU before transport.
+      job.steps.push_back(Cpu::Step{config_.packet_bytes * config_.host_compress_per_byte,
+                                    nullptr, Spl::kImp});
+    }
+    job.steps.push_back(Cpu::Step{
+        0,
+        [this, seq, now, wire_bytes]() {
+          std::optional<MbufChain> chain = kernel_->mbufs().Allocate(wire_bytes);
+          if (!chain.has_value()) {
+            ++mbuf_drops_;  // M_DONTWAIT semantics: interrupt context cannot sleep
+            return;
+          }
+          Packet packet;
+          packet.protocol = ProtocolId::kCtmsp;
+          packet.bytes = wire_bytes;
+          packet.seq = seq;
+          packet.dst = dst_;
+          packet.created_at = now;
+          packet.mbuf_segments = chain->segments();
+          packet.chain = std::make_shared<MbufChain>(std::move(*chain));
+          ++packets_built_;
+          if (!tr_driver_->OutputCtmsp(packet)) {
+            ++queue_drops_;
+          }
+        },
+        Spl::kImp});
+  } else {
+    // Stock mode: the handler copies the card's kernel-buffer data into mbufs and wakes the
+    // relay process — the first two copies of the section-2 diagram.
+    UnixKernel::AppendSteps(
+        &job.steps,
+        kernel_->CopySteps(config_.packet_bytes, MemoryKind::kSystemMemory,
+                           MemoryKind::kSystemMemory, Spl::kImp));
+    job.steps.push_back(Cpu::Step{
+        0,
+        [this, now]() {
+          std::optional<MbufChain> chain = kernel_->mbufs().Allocate(config_.packet_bytes);
+          if (!chain.has_value()) {
+            ++mbuf_drops_;
+            return;
+          }
+          Packet packet;
+          packet.protocol = ProtocolId::kNone;
+          packet.bytes = config_.packet_bytes;
+          packet.seq = static_cast<uint32_t>(++packets_built_);
+          packet.dst = dst_;
+          packet.created_at = now;
+          packet.mbuf_segments = chain->segments();
+          packet.chain = std::make_shared<MbufChain>(std::move(*chain));
+          if (deliver_) {
+            deliver_(packet);
+          }
+        },
+        Spl::kImp});
+  }
+  kernel_->machine()->cpu().SubmitInterrupt(std::move(job));
+}
+
+// --- VcaSinkDriver ---------------------------------------------------------------------------
+
+VcaSinkDriver::VcaSinkDriver(UnixKernel* kernel, CtmspReceiver* connection, Config config)
+    : kernel_(kernel), connection_(connection), config_(config) {}
+
+void VcaSinkDriver::OnCtmspDeliver(const Packet& packet, bool in_dma_buffer,
+                                   std::function<void()> release) {
+  if (connection_ != nullptr) {
+    // CTMSP sequence bookkeeping: duplicate suppression and loss accounting.
+    const CtmspReceiver::Verdict verdict = connection_->OnPacket(packet.seq);
+    if (verdict != CtmspReceiver::Verdict::kDeliver) {
+      release();
+      return;
+    }
+  }
+  ++packets_accepted_;
+
+  Cpu::Job job;
+  job.name = "vca-sink";
+  job.level = Spl::kImp;
+  job.steps.push_back(Cpu::Step{config_.examine_cost, nullptr, Spl::kImp});
+  if (config_.copy_to_device) {
+    // Copy out of mbufs (or straight out of the fixed DMA buffer) into the card's memory
+    // across the 16-bit interface.
+    const SimDuration copy_cost = packet.bytes * config_.device_copy_per_byte;
+    kernel_->machine()->copies().RecordCpuCopy(packet.bytes);
+    job.steps.push_back(Cpu::Step{copy_cost, nullptr, Spl::kImp});
+  }
+  job.steps.push_back(Cpu::Step{0,
+                                [this, bytes = packet.bytes, created_at = packet.created_at,
+                                 release]() {
+                                  release();
+                                  latency_.Add(kernel_->sim()->Now() - created_at);
+                                  EnqueuePlayout(bytes);
+                                },
+                                Spl::kImp});
+  (void)in_dma_buffer;  // costs are identical either way; what differs is who held the buffer
+  kernel_->machine()->cpu().SubmitInterrupt(std::move(job));
+}
+
+void VcaSinkDriver::UpdateOccupancyIntegral() {
+  const SimTime now = kernel_->sim()->Now();
+  occupancy_integral_ +=
+      static_cast<double>(buffered_bytes_) * static_cast<double>(now - occupancy_last_update_);
+  occupancy_last_update_ = now;
+}
+
+double VcaSinkDriver::MeanBufferedBytes() const {
+  const SimTime now = kernel_->sim()->Now();
+  if (now <= 0) {
+    return 0.0;
+  }
+  const double integral =
+      occupancy_integral_ + static_cast<double>(buffered_bytes_) *
+                                static_cast<double>(now - occupancy_last_update_);
+  return integral / static_cast<double>(now);
+}
+
+void VcaSinkDriver::EnqueuePlayout(int64_t bytes) {
+  UpdateOccupancyIntegral();
+  const SimTime now = kernel_->sim()->Now();
+  if (config_.adaptive && rebuffering_ && last_enqueue_at_ > 0) {
+    // The stream is back after a stall; size the buffer off the whole gap we just lived
+    // through, so an equal stall is absorbed silently next time.
+    const SimDuration gap = now - last_enqueue_at_;
+    const int needed = static_cast<int>(gap / config_.playout_period) + 2;
+    target_packets_ = std::min(config_.max_prime_packets, std::max(target_packets_, needed));
+    rebuffering_ = false;
+  }
+  last_enqueue_at_ = now;
+  buffer_.push_back(bytes);
+  buffered_bytes_ += bytes;
+  if (buffered_bytes_ > peak_buffered_bytes_) {
+    peak_buffered_bytes_ = buffered_bytes_;
+  }
+  if (target_packets_ == 0) {
+    target_packets_ = config_.prime_packets;
+  }
+  if (!playout_started_ && static_cast<int>(buffer_.size()) >= target_packets_) {
+    playout_started_ = true;
+    playout_cancel_ = SchedulePeriodic(kernel_->sim(), kernel_->sim()->Now(),
+                                       config_.playout_period, [this]() { PlayoutTick(); });
+  }
+  // Re-sync: a post-stall backlog beyond target+slack is late audio; skip it rather than
+  // carry the extra latency for the rest of the stream.
+  while (playout_started_ &&
+         static_cast<int>(buffer_.size()) > target_packets_ + config_.skip_slack_packets) {
+    buffered_bytes_ -= buffer_.front();
+    buffer_.pop_front();
+    ++skipped_packets_;
+  }
+}
+
+void VcaSinkDriver::PlayoutTick() {
+  UpdateOccupancyIntegral();
+  int64_t needed = config_.playout_bytes;
+  while (needed > 0 && !buffer_.empty()) {
+    const int64_t take = buffer_.front() <= needed ? buffer_.front() : needed;
+    buffer_.front() -= take;
+    buffered_bytes_ -= take;
+    needed -= take;
+    if (buffer_.front() == 0) {
+      buffer_.pop_front();
+    }
+  }
+  if (needed > 0) {
+    ++underruns_;  // the DSP ran dry mid-period: an audible glitch
+    if (config_.adaptive) {
+      // Rebuffer: stop playout until the (re-sized) buffer refills. The new target is set
+      // when the stream resumes, from the measured length of the whole stall.
+      rebuffering_ = true;
+      ++rebuffers_;
+      StopPlayout();
+    }
+  }
+}
+
+void VcaSinkDriver::StopPlayout() {
+  if (playout_cancel_) {
+    playout_cancel_();
+    playout_cancel_ = nullptr;
+    playout_started_ = false;
+  }
+}
+
+}  // namespace ctms

@@ -1,0 +1,175 @@
+#include "src/hw/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ctms {
+
+Cpu::Cpu(Simulation* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+Spl Cpu::EffectiveLevel(const ActiveJob& active) const {
+  if (active.next_step >= active.job.steps.size()) {
+    return active.job.level;
+  }
+  const Spl step_spl = active.job.steps[active.next_step].spl;
+  return SplValue(step_spl) > SplValue(active.job.level) ? step_spl : active.job.level;
+}
+
+Spl Cpu::current_level() const {
+  if (current_ == nullptr) {
+    return Spl::kNone;
+  }
+  // The step about to run / in flight determines the level.
+  const size_t idx = current_->next_step > 0 && step_in_flight_ ? current_->next_step - 1
+                                                                : current_->next_step;
+  if (idx >= current_->job.steps.size()) {
+    return current_->job.level;
+  }
+  const Spl step_spl = current_->job.steps[idx].spl;
+  return SplValue(step_spl) > SplValue(current_->job.level) ? step_spl : current_->job.level;
+}
+
+SimDuration Cpu::Stretched(SimDuration d) const {
+  if (contention_count_ > 0) {
+    return static_cast<SimDuration>(static_cast<double>(d) * contention_stretch_);
+  }
+  return d;
+}
+
+void Cpu::SubmitInterrupt(Job job) {
+  // Model interrupt dispatch (context save, vectoring) as an implicit leading step at the
+  // job's own level; jitter reflects microarchitectural variation, not kernel state.
+  const SimDuration dispatch =
+      dispatch_base_ + (dispatch_jitter_ > 0 ? sim_->rng().UniformDuration(0, dispatch_jitter_) : 0);
+  std::vector<Step> steps;
+  steps.reserve(job.steps.size() + 1);
+  steps.push_back(Step{dispatch, nullptr, job.level});
+  for (auto& s : job.steps) {
+    steps.push_back(std::move(s));
+  }
+  job.steps = std::move(steps);
+  Enqueue(ActiveJob{std::move(job), 0});
+}
+
+void Cpu::SubmitProcess(Job job) { Enqueue(ActiveJob{std::move(job), 0}); }
+
+void Cpu::SubmitInterrupt(std::string name, Spl level, SimDuration duration,
+                          std::function<void()> action) {
+  Job job;
+  job.name = std::move(name);
+  job.level = level;
+  job.steps.push_back(Step{duration, std::move(action), level});
+  SubmitInterrupt(std::move(job));
+}
+
+void Cpu::CancelAll() {
+  current_.reset();
+  preempted_.clear();
+  pending_.clear();
+  // A step event may still be scheduled on the simulation; step_in_flight_ stays true so
+  // nothing new dispatches, and the event finds no current job if it ever fires.
+  step_in_flight_ = true;
+}
+
+void Cpu::BeginMemoryContention() { ++contention_count_; }
+
+void Cpu::EndMemoryContention() {
+  assert(contention_count_ > 0);
+  --contention_count_;
+}
+
+void Cpu::Enqueue(ActiveJob active) {
+  auto holder = std::make_unique<ActiveJob>(std::move(active));
+  // Insert keeping pending_ sorted by level descending, FIFO within a level.
+  auto it = pending_.begin();
+  while (it != pending_.end() &&
+         SplValue((*it)->job.level) >= SplValue(holder->job.level)) {
+    ++it;
+  }
+  pending_.insert(it, std::move(holder));
+  if (!step_in_flight_) {
+    ScheduleNext();
+  }
+}
+
+void Cpu::ScheduleNext() {
+  if (step_in_flight_) {
+    // A nested call (an on_done callback submitted new work and dispatch already started a
+    // step) — the boundary logic will run again when that step completes.
+    return;
+  }
+  // Decide what runs now: the current job's next step, a pending job that preempts it, or
+  // (if there is no current job) the best of pending vs the preempted stack.
+  if (current_ == nullptr && !preempted_.empty()) {
+    current_ = std::move(preempted_.back());
+    preempted_.pop_back();
+  }
+  if (!pending_.empty()) {
+    const Spl incoming = pending_.front()->job.level;
+    const bool preempts =
+        current_ == nullptr || !SplBlocks(EffectiveLevel(*current_), incoming);
+    if (preempts) {
+      if (current_ != nullptr) {
+        preempted_.push_back(std::move(current_));
+      }
+      current_ = std::move(pending_.front());
+      pending_.pop_front();
+    }
+  }
+  if (current_ == nullptr) {
+    return;  // idle
+  }
+  if (current_->next_step >= current_->job.steps.size()) {
+    // Degenerate job with no steps (or all steps already run): complete it immediately.
+    auto finished = std::move(current_);
+    current_ = nullptr;
+    ++jobs_completed_;
+    if (finished->job.on_done) {
+      finished->job.on_done();
+    }
+    ScheduleNext();
+    return;
+  }
+  StartStep();
+}
+
+void Cpu::StartStep() {
+  assert(current_ != nullptr);
+  assert(current_->next_step < current_->job.steps.size());
+  step_in_flight_ = true;
+  Step& step = current_->job.steps[current_->next_step];
+  const SimDuration elapsed = Stretched(step.duration);
+  ++current_->next_step;
+  sim_->After(elapsed, [this, elapsed]() {
+    if (current_ == nullptr) {
+      return;  // CancelAll ran while this step was in flight
+    }
+    busy_time_ += elapsed;
+    busy_by_job_[current_->job.name] += elapsed;
+    const size_t completed = current_->next_step - 1;
+    auto action = std::move(current_->job.steps[completed].action);
+    if (action) {
+      action();  // may submit new jobs; step_in_flight_ still true so no re-entrancy
+    }
+    step_in_flight_ = false;
+    if (current_ != nullptr && current_->next_step >= current_->job.steps.size()) {
+      auto finished = std::move(current_);
+      current_ = nullptr;
+      ++jobs_completed_;
+      if (finished->job.on_done) {
+        finished->job.on_done();
+      }
+    }
+    ScheduleNext();
+  });
+}
+
+double Cpu::Utilization() const {
+  const SimTime now = sim_->Now();
+  if (now <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_time_) / static_cast<double>(now);
+}
+
+}  // namespace ctms

@@ -1,0 +1,50 @@
+#include "src/hw/dma.h"
+
+#include <utility>
+
+#include "src/hw/cpu.h"
+
+namespace ctms {
+
+DmaEngine::DmaEngine(Simulation* sim, std::string name, Cpu* cpu, CopyEngine* accounting)
+    : sim_(sim), name_(std::move(name)), cpu_(cpu), accounting_(accounting) {}
+
+void DmaEngine::Transfer(int64_t bytes, MemoryKind buffer_kind, std::function<void()> on_done) {
+  Request request{bytes, buffer_kind, std::move(on_done)};
+  if (busy_) {
+    queue_.push_back(std::move(request));
+    return;
+  }
+  Start(std::move(request));
+}
+
+void DmaEngine::Start(Request request) {
+  busy_ = true;
+  const bool steals_cpu_cycles =
+      cpu_ != nullptr && request.buffer_kind == MemoryKind::kSystemMemory;
+  if (steals_cpu_cycles) {
+    cpu_->BeginMemoryContention();
+  }
+  const SimDuration elapsed = TransferTime(request.bytes);
+  sim_->After(elapsed, [this, steals_cpu_cycles, request = std::move(request)]() {
+    if (steals_cpu_cycles) {
+      cpu_->EndMemoryContention();
+    }
+    ++transfers_completed_;
+    bytes_transferred_ += request.bytes;
+    if (accounting_ != nullptr) {
+      accounting_->RecordDmaCopy(request.bytes);
+    }
+    if (request.on_done) {
+      request.on_done();
+    }
+    busy_ = false;
+    if (!queue_.empty()) {
+      Request next = std::move(queue_.front());
+      queue_.pop_front();
+      Start(std::move(next));
+    }
+  });
+}
+
+}  // namespace ctms

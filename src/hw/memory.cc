@@ -1,0 +1,36 @@
+#include "src/hw/memory.h"
+
+namespace ctms {
+
+SimDuration CopyEngine::CopyCost(int64_t bytes, MemoryKind src, MemoryKind dst) const {
+  SimDuration per_byte = 0;
+  if (src == MemoryKind::kSystemMemory && dst == MemoryKind::kSystemMemory) {
+    per_byte = rates_.sys_to_sys;
+  } else if (src == MemoryKind::kSystemMemory && dst == MemoryKind::kIoChannelMemory) {
+    per_byte = rates_.sys_to_iocm;
+  } else if (src == MemoryKind::kIoChannelMemory && dst == MemoryKind::kSystemMemory) {
+    per_byte = rates_.iocm_to_sys;
+  } else {
+    per_byte = rates_.iocm_to_iocm;
+  }
+  return bytes * per_byte;
+}
+
+void CopyEngine::RecordCpuCopy(int64_t bytes) {
+  ++cpu_copies_;
+  cpu_bytes_ += bytes;
+}
+
+void CopyEngine::RecordDmaCopy(int64_t bytes) {
+  ++dma_copies_;
+  dma_bytes_ += bytes;
+}
+
+void CopyEngine::ResetCounters() {
+  cpu_copies_ = 0;
+  cpu_bytes_ = 0;
+  dma_copies_ = 0;
+  dma_bytes_ = 0;
+}
+
+}  // namespace ctms

@@ -1,0 +1,29 @@
+#include "src/kern/ifqueue.h"
+
+namespace ctms {
+
+bool IfQueue::Enqueue(const Packet& packet) {
+  if (static_cast<int>(queue_.size()) >= maxlen_) {
+    ++drops_;
+    return false;
+  }
+  queue_.push_back(packet);
+  ++enqueued_total_;
+  if (queue_.size() > peak_depth_) {
+    peak_depth_ = queue_.size();
+  }
+  return true;
+}
+
+std::optional<Packet> IfQueue::Dequeue() {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  Packet packet = queue_.front();
+  queue_.pop_front();
+  return packet;
+}
+
+void IfQueue::Requeue(const Packet& packet) { queue_.push_front(packet); }
+
+}  // namespace ctms

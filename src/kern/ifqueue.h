@@ -1,0 +1,51 @@
+// Bounded kernel packet queues (struct ifqueue in 4.3BSD).
+//
+// Every queue between layers is length-limited (IFQ_MAXLEN = 50 in 4.3BSD); an enqueue to a
+// full queue drops the packet silently. Under CPU saturation this is exactly where the stock
+// path loses continuous-media packets.
+
+#ifndef SRC_KERN_IFQUEUE_H_
+#define SRC_KERN_IFQUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/kern/packet.h"
+
+namespace ctms {
+
+inline constexpr int kIfqMaxlenDefault = 50;
+
+class IfQueue {
+ public:
+  explicit IfQueue(std::string name, int maxlen = kIfqMaxlenDefault)
+      : name_(std::move(name)), maxlen_(maxlen) {}
+
+  // Returns false (and counts a drop) if the queue is full.
+  bool Enqueue(const Packet& packet);
+  std::optional<Packet> Dequeue();
+  // Enqueue at the head — used by drivers that must retry the packet they just dequeued.
+  void Requeue(const Packet& packet);
+
+  bool empty() const { return queue_.empty(); }
+  size_t size() const { return queue_.size(); }
+  int maxlen() const { return maxlen_; }
+  uint64_t drops() const { return drops_; }
+  uint64_t enqueued_total() const { return enqueued_total_; }
+  size_t peak_depth() const { return peak_depth_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int maxlen_;
+  std::deque<Packet> queue_;
+  uint64_t drops_ = 0;
+  uint64_t enqueued_total_ = 0;
+  size_t peak_depth_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_KERN_IFQUEUE_H_

@@ -1,0 +1,115 @@
+#include "src/kern/mbuf.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ctms {
+
+MbufChain::MbufChain(MbufChain&& other) noexcept
+    : pool_(other.pool_), mbufs_(other.mbufs_), clusters_(other.clusters_), bytes_(other.bytes_) {
+  other.pool_ = nullptr;
+}
+
+MbufChain& MbufChain::operator=(MbufChain&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    mbufs_ = other.mbufs_;
+    clusters_ = other.clusters_;
+    bytes_ = other.bytes_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+MbufChain::~MbufChain() { Release(); }
+
+void MbufChain::Release() {
+  if (pool_ != nullptr) {
+    pool_->Free(mbufs_, clusters_);
+    pool_ = nullptr;
+  }
+}
+
+MbufPool::MbufPool(int mbuf_capacity, int cluster_capacity)
+    : mbuf_capacity_(mbuf_capacity), cluster_capacity_(cluster_capacity) {}
+
+void MbufPool::ChainShape(int64_t bytes, int* mbufs, int* clusters) {
+  assert(bytes >= 0);
+  if (bytes <= kClusterThreshold) {
+    *clusters = 0;
+    *mbufs = bytes == 0 ? 1 : static_cast<int>((bytes + kMbufDataBytes - 1) / kMbufDataBytes);
+  } else {
+    *clusters = static_cast<int>((bytes + kClusterBytes - 1) / kClusterBytes);
+    *mbufs = *clusters;  // each cluster hangs off one mbuf header
+  }
+}
+
+bool MbufPool::CanSatisfy(int mbufs, int clusters) const {
+  return mbufs_in_use_ + mbufs <= mbuf_capacity_ &&
+         clusters_in_use_ + clusters <= cluster_capacity_;
+}
+
+std::optional<MbufChain> MbufPool::Allocate(int64_t bytes) {
+  int mbufs = 0;
+  int clusters = 0;
+  ChainShape(bytes, &mbufs, &clusters);
+  if (!CanSatisfy(mbufs, clusters)) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  mbufs_in_use_ += mbufs;
+  clusters_in_use_ += clusters;
+  ++stats_.allocations;
+  if (mbufs_in_use_ > stats_.peak_mbufs_in_use) {
+    stats_.peak_mbufs_in_use = mbufs_in_use_;
+  }
+  if (clusters_in_use_ > stats_.peak_clusters_in_use) {
+    stats_.peak_clusters_in_use = clusters_in_use_;
+  }
+  return MbufChain(this, mbufs, clusters, bytes);
+}
+
+void MbufPool::AllocateOrWait(int64_t bytes, std::function<void(MbufChain)> on_ready) {
+  // Preserve FIFO fairness: if someone is already waiting, queue behind them even if this
+  // (possibly smaller) request could be satisfied now.
+  if (waiters_.empty()) {
+    std::optional<MbufChain> chain = Allocate(bytes);
+    if (chain.has_value()) {
+      on_ready(std::move(*chain));
+      return;
+    }
+  }
+  ++stats_.waits;
+  waiters_.push_back(Waiter{bytes, std::move(on_ready)});
+}
+
+void MbufPool::Free(int mbufs, int clusters) {
+  mbufs_in_use_ -= mbufs;
+  clusters_in_use_ -= clusters;
+  assert(mbufs_in_use_ >= 0 && clusters_in_use_ >= 0);
+  ServeWaiters();
+}
+
+void MbufPool::ServeWaiters() {
+  if (serving_waiters_) {
+    return;  // a waiter's callback freed memory; the outer loop will continue
+  }
+  serving_waiters_ = true;
+  while (!waiters_.empty()) {
+    int mbufs = 0;
+    int clusters = 0;
+    ChainShape(waiters_.front().bytes, &mbufs, &clusters);
+    if (!CanSatisfy(mbufs, clusters)) {
+      break;
+    }
+    Waiter waiter = std::move(waiters_.front());
+    waiters_.pop_front();
+    std::optional<MbufChain> chain = Allocate(waiter.bytes);
+    assert(chain.has_value());
+    waiter.on_ready(std::move(*chain));
+  }
+  serving_waiters_ = false;
+}
+
+}  // namespace ctms

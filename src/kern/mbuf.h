@@ -1,0 +1,115 @@
+// The BSD mbuf pool.
+//
+// mbufs are the kernel's network buffers: 128-byte blocks holding up to kMbufDataBytes of
+// data, optionally pointing at a 1 KB cluster. The pool is finite; the paper notes that "the
+// allocation of an mbuf can be delayed an arbitrarily long time if the pool is exhausted"
+// (section 2) — a hazard for continuous-media deadlines. We model occupancy exactly (RAII
+// chains return their buffers), allocation failure when the pool is dry, and optional
+// waiters that are satisfied in FIFO order as memory frees up.
+
+#ifndef SRC_KERN_MBUF_H_
+#define SRC_KERN_MBUF_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+namespace ctms {
+
+// Data bytes carried by a plain mbuf (128-byte block minus the header).
+inline constexpr int64_t kMbufDataBytes = 112;
+// Data bytes carried by a cluster mbuf.
+inline constexpr int64_t kClusterBytes = 1024;
+// Payloads up to twice a small mbuf stay in small mbufs; larger ones take clusters
+// (the 4.3BSD MCLBYTES policy, simplified).
+inline constexpr int64_t kClusterThreshold = 2 * kMbufDataBytes;
+
+class MbufPool;
+
+// A chain of mbufs holding `bytes` of packet data. Move-only RAII: destroying (or Release-
+// ing) the chain returns its buffers to the pool.
+class MbufChain {
+ public:
+  MbufChain() = default;
+  MbufChain(MbufChain&& other) noexcept;
+  MbufChain& operator=(MbufChain&& other) noexcept;
+  MbufChain(const MbufChain&) = delete;
+  MbufChain& operator=(const MbufChain&) = delete;
+  ~MbufChain();
+
+  bool valid() const { return pool_ != nullptr; }
+  int64_t bytes() const { return bytes_; }
+  int mbufs() const { return mbufs_; }
+  int clusters() const { return clusters_; }
+  // Total buffer segments — each adds fixed per-segment overhead to a CPU copy.
+  int segments() const { return mbufs_; }
+
+  // Returns the buffers to the pool immediately.
+  void Release();
+
+ private:
+  friend class MbufPool;
+  MbufChain(MbufPool* pool, int mbufs, int clusters, int64_t bytes)
+      : pool_(pool), mbufs_(mbufs), clusters_(clusters), bytes_(bytes) {}
+
+  MbufPool* pool_ = nullptr;
+  int mbufs_ = 0;
+  int clusters_ = 0;
+  int64_t bytes_ = 0;
+};
+
+class MbufPool {
+ public:
+  struct Stats {
+    uint64_t allocations = 0;
+    uint64_t failures = 0;      // allocation attempts that found the pool dry
+    uint64_t waits = 0;         // allocations that had to park a waiter
+    int peak_mbufs_in_use = 0;
+    int peak_clusters_in_use = 0;
+  };
+
+  // 4.3BSD-scale defaults: a few hundred mbufs, a few dozen clusters.
+  explicit MbufPool(int mbuf_capacity = 256, int cluster_capacity = 64);
+
+  // Computes the chain shape for a payload of `bytes` without allocating.
+  static void ChainShape(int64_t bytes, int* mbufs, int* clusters);
+
+  // Attempts to allocate a chain for `bytes`; returns nullopt if the pool cannot satisfy it
+  // right now.
+  std::optional<MbufChain> Allocate(int64_t bytes);
+
+  // Allocates, or parks `on_ready` to be called (with the chain) once enough buffers free
+  // up. Waiters are served FIFO — this is the unbounded delay the paper warns about.
+  void AllocateOrWait(int64_t bytes, std::function<void(MbufChain)> on_ready);
+
+  int free_mbufs() const { return mbuf_capacity_ - mbufs_in_use_; }
+  int free_clusters() const { return cluster_capacity_ - clusters_in_use_; }
+  int mbufs_in_use() const { return mbufs_in_use_; }
+  int clusters_in_use() const { return clusters_in_use_; }
+  size_t waiter_count() const { return waiters_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class MbufChain;
+  void Free(int mbufs, int clusters);
+  bool CanSatisfy(int mbufs, int clusters) const;
+  void ServeWaiters();
+
+  int mbuf_capacity_;
+  int cluster_capacity_;
+  int mbufs_in_use_ = 0;
+  int clusters_in_use_ = 0;
+
+  struct Waiter {
+    int64_t bytes;
+    std::function<void(MbufChain)> on_ready;
+  };
+  std::deque<Waiter> waiters_;
+  bool serving_waiters_ = false;
+  Stats stats_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_KERN_MBUF_H_

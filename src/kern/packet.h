@@ -1,0 +1,43 @@
+// Packet descriptor passed between kernel layers.
+//
+// Payload content is never simulated byte-for-byte; a packet carries the metadata that
+// affects timing and correctness: sizes, sequence number, addressing, and creation time (for
+// end-to-end latency accounting).
+
+#ifndef SRC_KERN_PACKET_H_
+#define SRC_KERN_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/kern/mbuf.h"
+#include "src/ring/frame.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+struct Packet {
+  ProtocolId protocol = ProtocolId::kNone;
+  int64_t bytes = 0;  // payload length as the host sees it (headers included, per the paper)
+  uint32_t seq = 0;
+  RingAddress src = 0;
+  RingAddress dst = 0;
+  SimTime created_at = 0;   // when the source device produced it
+  int mbuf_segments = 0;    // chain shape, for per-segment copy overhead
+  uint8_t ip_proto = 0;     // inner IP protocol (17 = UDP, 6 = TCP-lite) when protocol==kIp
+  uint16_t port = 0;        // UDP/TCP demux key
+  bool is_ack = false;      // TCP-lite acknowledgment
+  uint32_t ack_seq = 0;     // cumulative ack number when is_ack
+  // The kernel buffers holding the payload; shared so a Packet descriptor can be copied
+  // between queues while the chain frees exactly once, when the last holder lets go (the
+  // driver drops its reference after copying into the fixed DMA buffer).
+  std::shared_ptr<MbufChain> chain;
+};
+
+// IP protocol numbers used by the stack.
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+}  // namespace ctms
+
+#endif  // SRC_KERN_PACKET_H_

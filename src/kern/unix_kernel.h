@@ -1,0 +1,50 @@
+// Per-machine UNIX kernel state shared by drivers and protocol layers: the mbuf pool and
+// helpers for charging chunked CPU copies (chunking lets higher-priority interrupts preempt
+// a long copy at realistic boundaries).
+
+#ifndef SRC_KERN_UNIX_KERNEL_H_
+#define SRC_KERN_UNIX_KERNEL_H_
+
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/machine.h"
+#include "src/hw/memory.h"
+#include "src/kern/mbuf.h"
+
+namespace ctms {
+
+class UnixKernel {
+ public:
+  struct Config {
+    int mbuf_capacity = 256;
+    int cluster_capacity = 64;
+    // CPU copies are split into steps of this many bytes.
+    int64_t copy_chunk_bytes = 512;
+  };
+
+  UnixKernel(Machine* machine, Config config);
+  explicit UnixKernel(Machine* machine) : UnixKernel(machine, Config{}) {}
+
+  Machine* machine() { return machine_; }
+  Simulation* sim() { return machine_->sim(); }
+  MbufPool& mbufs() { return mbufs_; }
+  const Config& config() const { return config_; }
+
+  // Builds CPU steps that perform (and account for) a copy of `bytes` from `src` to `dst`
+  // at level `spl`. `on_done` runs as the action of the final step.
+  std::vector<Cpu::Step> CopySteps(int64_t bytes, MemoryKind src, MemoryKind dst, Spl spl,
+                                   std::function<void()> on_done = nullptr);
+
+  // Appends `extra` steps to `steps`.
+  static void AppendSteps(std::vector<Cpu::Step>* steps, std::vector<Cpu::Step> extra);
+
+ private:
+  Machine* machine_;
+  Config config_;
+  MbufPool mbufs_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_KERN_UNIX_KERNEL_H_

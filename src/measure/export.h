@@ -1,0 +1,31 @@
+// CSV export of histograms and probe events, for plotting the reproduced figures with
+// external tools.
+
+#ifndef SRC_MEASURE_EXPORT_H_
+#define SRC_MEASURE_EXPORT_H_
+
+#include <string>
+
+#include "src/measure/histogram.h"
+#include "src/measure/interval_analyzer.h"
+#include "src/measure/probe.h"
+
+namespace ctms {
+
+// Writes one sample per line: "sample_us". Returns false on I/O failure.
+bool WriteSamplesCsv(const Histogram& histogram, const std::string& path);
+
+// Writes binned counts: "bin_lo_us,count" at the given bin width.
+bool WriteBinnedCsv(const Histogram& histogram, SimDuration bin_width,
+                    const std::string& path);
+
+// Writes raw probe events: "point,seq,time_us".
+bool WriteEventsCsv(const std::vector<ProbeEvent>& events, const std::string& path);
+
+// Writes all seven paper histograms as <prefix>_hist<N>.csv sample files.
+// Returns the number of files written successfully.
+int WritePaperHistogramsCsv(const PaperHistograms& histograms, const std::string& prefix);
+
+}  // namespace ctms
+
+#endif  // SRC_MEASURE_EXPORT_H_

@@ -1,0 +1,71 @@
+#include "src/measure/live_analyzer.h"
+
+#include <sstream>
+
+namespace ctms {
+
+LiveAnalyzer::LiveAnalyzer(ProbeBus* bus, Simulation* sim, Config config)
+    : sim_(sim), config_(config) {
+  bus->Subscribe([this](const ProbeEvent& event) { OnProbe(event); });
+}
+
+void LiveAnalyzer::Rearm() {
+  tripped_ = false;
+  snapshot_ = Snapshot{};
+  points_.clear();
+  window_.clear();
+}
+
+void LiveAnalyzer::OnProbe(const ProbeEvent& event) {
+  if (tripped_) {
+    return;  // frozen until the operator re-arms
+  }
+  ++events_checked_;
+  window_.push_back(event);
+  if (window_.size() > config_.snapshot_window) {
+    window_.pop_front();
+  }
+
+  PointState& state = points_[event.point];
+  if (state.seen) {
+    const SimDuration gap_time = event.time - state.last_time;
+    if (gap_time > config_.max_inter_occurrence) {
+      std::ostringstream reason;
+      reason << "inter-occurrence " << FormatDuration(gap_time) << " at "
+             << ProbePointName(event.point) << " exceeds "
+             << FormatDuration(config_.max_inter_occurrence);
+      Trip(reason.str(), event);
+      return;
+    }
+    if (config_.halt_on_regression && event.seq < state.last_seq) {
+      std::ostringstream reason;
+      reason << "sequence regression at " << ProbePointName(event.point) << ": "
+             << event.seq << " after " << state.last_seq;
+      Trip(reason.str(), event);
+      return;
+    }
+    if (config_.halt_on_gap && event.seq > state.last_seq + 1) {
+      std::ostringstream reason;
+      reason << "lost packet(s) at " << ProbePointName(event.point) << ": " << state.last_seq
+             << " -> " << event.seq;
+      Trip(reason.str(), event);
+      return;
+    }
+  }
+  state.seen = true;
+  state.last_time = event.time;
+  state.last_seq = event.seq;
+}
+
+void LiveAnalyzer::Trip(const std::string& reason, const ProbeEvent& event) {
+  tripped_ = true;
+  snapshot_.reason = reason;
+  snapshot_.offending = event;
+  snapshot_.tripped_at = sim_->Now();
+  snapshot_.recent.assign(window_.begin(), window_.end());
+  if (config_.halt_simulation) {
+    sim_->Stop();  // "all machines were halted and a snapshot of the data was taken"
+  }
+}
+
+}  // namespace ctms

@@ -1,0 +1,84 @@
+// The real-time analysis harness of section 5.2.1.
+//
+// "We were able to coordinate the activities of the transmitter, receiver and the TAP tool
+// under a centralized control point. The end result was a set of computers that recorded and
+// analyzed data in real time. If a packet was lost, had an extremely long inter-departure or
+// inter-arrival time, or there was an incorrect ordering of packets on the transmitter
+// and/or receiver, all machines were halted and a snapshot of the data was taken."
+//
+// LiveAnalyzer watches the probe stream online, applies exactly those trip conditions, and on
+// the first violation halts the simulation and captures a snapshot: the trigger, the
+// offending event, and the recent event window. This is the tool the paper used to find its
+// driver's critical-section bugs; ours serves the same purpose for model changes.
+
+#ifndef SRC_MEASURE_LIVE_ANALYZER_H_
+#define SRC_MEASURE_LIVE_ANALYZER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/measure/probe.h"
+#include "src/sim/simulation.h"
+
+namespace ctms {
+
+class LiveAnalyzer {
+ public:
+  struct Config {
+    // Inter-occurrence beyond this at any software point trips the halt (the stream's
+    // period plus generous catch-up slack).
+    SimDuration max_inter_occurrence = Milliseconds(60);
+    // A sequence gap at any single point = a lost packet.
+    bool halt_on_gap = true;
+    // A sequence regression at any single point = incorrect ordering.
+    bool halt_on_regression = true;
+    // Events kept for the snapshot.
+    size_t snapshot_window = 64;
+    // Actually stop the simulation when tripped (tests may want to observe only).
+    bool halt_simulation = true;
+  };
+
+  struct Snapshot {
+    std::string reason;
+    ProbeEvent offending;
+    SimTime tripped_at = 0;
+    std::vector<ProbeEvent> recent;  // the window leading up to the trigger
+  };
+
+  LiveAnalyzer(ProbeBus* bus, Simulation* sim, Config config);
+  LiveAnalyzer(ProbeBus* bus, Simulation* sim) : LiveAnalyzer(bus, sim, Config{}) {}
+
+  bool tripped() const { return tripped_; }
+  const Snapshot& snapshot() const { return snapshot_; }
+  uint64_t events_checked() const { return events_checked_; }
+
+  // Re-arms after a trip (the paper's operators restarted the run after examining the
+  // snapshot).
+  void Rearm();
+
+ private:
+  void OnProbe(const ProbeEvent& event);
+  void Trip(const std::string& reason, const ProbeEvent& event);
+
+  Simulation* sim_;
+  Config config_;
+
+  struct PointState {
+    bool seen = false;
+    SimTime last_time = 0;
+    uint32_t last_seq = 0;
+  };
+  std::map<ProbePoint, PointState> points_;
+  std::deque<ProbeEvent> window_;
+
+  bool tripped_ = false;
+  Snapshot snapshot_;
+  uint64_t events_checked_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_MEASURE_LIVE_ANALYZER_H_

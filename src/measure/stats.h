@@ -1,0 +1,36 @@
+// Summary statistics over duration samples.
+
+#ifndef SRC_MEASURE_STATS_H_
+#define SRC_MEASURE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ctms {
+
+struct SummaryStats {
+  size_t count = 0;
+  SimDuration min = 0;
+  SimDuration max = 0;
+  double mean = 0.0;    // nanoseconds
+  double stddev = 0.0;  // nanoseconds (population)
+};
+
+// Computes summary statistics of `samples` (nanosecond durations).
+SummaryStats Summarize(const std::vector<SimDuration>& samples);
+
+// p in [0, 1]; linear interpolation between order statistics. Requires non-empty samples.
+SimDuration Percentile(std::vector<SimDuration> samples, double p);
+
+// Fraction of samples within +/- halfwidth of center (inclusive).
+double FractionWithin(const std::vector<SimDuration>& samples, SimDuration center,
+                      SimDuration halfwidth);
+
+// Fraction of samples in [lo, hi] inclusive.
+double FractionBetween(const std::vector<SimDuration>& samples, SimDuration lo, SimDuration hi);
+
+}  // namespace ctms
+
+#endif  // SRC_MEASURE_STATS_H_

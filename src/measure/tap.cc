@@ -1,0 +1,83 @@
+#include "src/measure/tap.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ctms {
+
+TapMonitor::TapMonitor(TokenRing* ring, Config config) : config_(config) {
+  ring->AddFrameMonitor(
+      [this](const Frame& frame, SimTime end_of_wire) { OnFrame(frame, end_of_wire); });
+}
+
+void TapMonitor::OnFrame(const Frame& frame, SimTime end_of_wire) {
+  const bool is_mac = frame.kind == FrameKind::kMac;
+  if (is_mac) {
+    ++mac_frames_;
+    mac_bytes_ += WireBytes(frame);
+  } else {
+    ++llc_frames_;
+    llc_bytes_ += WireBytes(frame);
+  }
+  if (records_.size() >= config_.capture_capacity ||
+      end_of_wire - last_capture_ < config_.min_capture_gap) {
+    ++tool_dropped_;
+    return;
+  }
+  last_capture_ = end_of_wire;
+  Record rec;
+  rec.time = end_of_wire;
+  rec.access_control = static_cast<uint8_t>(frame.priority << 5);  // 802.5 AC priority bits
+  rec.frame_control = is_mac ? 0x00 : 0x40;                        // MAC=00, LLC=01 (FF bits)
+  rec.total_length = WireBytes(frame);
+  rec.captured_bytes = std::min<int64_t>(frame.payload_bytes, config_.capture_bytes);
+  rec.protocol = frame.protocol;
+  rec.seq = frame.seq;
+  rec.is_mac = is_mac;
+  records_.push_back(rec);
+}
+
+TapMonitor::StreamReport TapMonitor::AnalyzeStream(ProtocolId protocol) const {
+  StreamReport report;
+  bool have_prev = false;
+  uint32_t prev_seq = 0;
+  for (const Record& rec : records_) {
+    if (rec.is_mac || rec.protocol != protocol) {
+      continue;
+    }
+    ++report.observed;
+    if (have_prev) {
+      if (rec.seq == prev_seq) {
+        ++report.duplicates;
+        continue;
+      }
+      if (rec.seq < prev_seq) {
+        ++report.out_of_order;
+        continue;
+      }
+      report.lost += rec.seq - prev_seq - 1;
+    }
+    prev_seq = rec.seq;
+    have_prev = true;
+  }
+  return report;
+}
+
+double TapMonitor::MacFrameFraction() const {
+  const int64_t total = mac_bytes_ + llc_bytes_;
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(mac_bytes_) / static_cast<double>(total);
+}
+
+void TapMonitor::Clear() {
+  records_.clear();
+  tool_dropped_ = 0;
+  mac_frames_ = 0;
+  llc_frames_ = 0;
+  mac_bytes_ = 0;
+  llc_bytes_ = 0;
+}
+
+}  // namespace ctms

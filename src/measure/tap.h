@@ -1,0 +1,83 @@
+// The Trace and Analysis Program (TAP) model — section 5's macro-scale ring monitor.
+//
+// TAP sits on the ring as a promiscuous station: it timestamps every frame (MAC frames
+// included), records the Access Control and Frame Control bytes, the total length, and up to
+// the first 96 bytes of packet data. Like the real product it has limits: a finite capture
+// buffer and a minimum handling gap under bursts (the documented "limitations of the tool's
+// ability to record all packets").
+//
+// Its analysis methods reproduce what the paper used TAP for: detecting lost and out-of-order
+// packets of a protocol stream and measuring ring load.
+
+#ifndef SRC_MEASURE_TAP_H_
+#define SRC_MEASURE_TAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ring/frame.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+class TapMonitor {
+ public:
+  struct Config {
+    size_t capture_capacity = 1 << 20;
+    // Frames arriving closer together than this to the previous *captured* frame are lost
+    // by the tool (not by the ring).
+    SimDuration min_capture_gap = Microseconds(80);
+    int64_t capture_bytes = 96;
+  };
+
+  struct Record {
+    SimTime time = 0;
+    uint8_t access_control = 0;  // priority bits live here on a real ring
+    uint8_t frame_control = 0;   // MAC vs LLC
+    int64_t total_length = 0;
+    int64_t captured_bytes = 0;  // min(total payload, 96)
+    ProtocolId protocol = ProtocolId::kNone;
+    uint32_t seq = 0;
+    bool is_mac = false;
+  };
+
+  struct StreamReport {
+    uint64_t observed = 0;
+    uint64_t lost = 0;          // sequence gaps
+    uint64_t out_of_order = 0;  // sequence regressions
+    uint64_t duplicates = 0;
+  };
+
+  TapMonitor(TokenRing* ring, Config config);
+  explicit TapMonitor(TokenRing* ring) : TapMonitor(ring, Config{}) {}
+
+  const std::vector<Record>& records() const { return records_; }
+  uint64_t tool_dropped() const { return tool_dropped_; }
+
+  // Sequence analysis of one protocol's stream as captured.
+  StreamReport AnalyzeStream(ProtocolId protocol) const;
+
+  // Fraction of observed capture bytes belonging to MAC frames, and overall frame counts.
+  double MacFrameFraction() const;
+  uint64_t mac_frames() const { return mac_frames_; }
+  uint64_t llc_frames() const { return llc_frames_; }
+
+  void Clear();
+
+ private:
+  void OnFrame(const Frame& frame, SimTime end_of_wire);
+
+  Config config_;
+  std::vector<Record> records_;
+  SimTime last_capture_ = -kHour;
+  uint64_t tool_dropped_ = 0;
+  uint64_t mac_frames_ = 0;
+  uint64_t llc_frames_ = 0;
+  int64_t mac_bytes_ = 0;
+  int64_t llc_bytes_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_MEASURE_TAP_H_

@@ -1,0 +1,45 @@
+#include "src/proto/ctmsp.h"
+
+namespace ctms {
+
+std::optional<std::pair<uint32_t, int64_t>> CtmspTransmitter::OnPurgeDetected() {
+  if (!config_.retransmit_on_purge || !last_sent_.has_value()) {
+    return std::nullopt;
+  }
+  const LastSent last = *last_sent_;
+  last_sent_.reset();  // at most one retransmission per packet
+  ++retransmissions_;
+  return std::make_pair(last.seq, last.bytes);
+}
+
+CtmspReceiver::Verdict CtmspReceiver::OnPacket(uint32_t seq) {
+  if (highest_seq_ != 0 && seq <= highest_seq_) {
+    const uint32_t age = highest_seq_ - seq;
+    if (age >= kDeliveredWindow) {
+      ++out_of_order_;
+      return Verdict::kOutOfOrder;
+    }
+    const uint64_t bit = uint64_t{1} << age;
+    if ((delivered_window_ & bit) != 0) {
+      ++duplicates_;
+      return Verdict::kDuplicate;
+    }
+    // A late arrival filling a gap we had written off as lost (purge recovery working).
+    delivered_window_ |= bit;
+    --lost_;
+    ++late_recovered_;
+    ++delivered_;
+    return Verdict::kDeliver;
+  }
+  if (highest_seq_ != 0 && seq > highest_seq_ + 1) {
+    lost_ += seq - highest_seq_ - 1;
+  }
+  const uint32_t advance = highest_seq_ == 0 ? kDeliveredWindow : seq - highest_seq_;
+  delivered_window_ = advance >= kDeliveredWindow ? 0 : delivered_window_ << advance;
+  delivered_window_ |= 1;
+  highest_seq_ = seq;
+  ++delivered_;
+  return Verdict::kDeliver;
+}
+
+}  // namespace ctms

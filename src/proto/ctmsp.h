@@ -1,0 +1,120 @@
+// CTMSP — the Continuous Time Media System Protocol (section 3).
+//
+// CTMSP lives at the same layer as ARP and IP. It assumes a static point-to-point connection
+// between two machines on the same ring, which lets it:
+//   - precompute the Token Ring header once for the life of the connection,
+//   - ride a ring access priority above all other traffic and a driver-internal priority
+//     above ARP and IP,
+//   - push delivery assurance down to the Token Ring hardware (the transmitter knows at
+//     interrupt level whether the destination copied the frame) instead of acks,
+//   - preserve sequence by having the driver send one packet completely before the next.
+//
+// This header holds the connection state machines. The data-path work (priority queueing,
+// the receive split point, the fixed-DMA-buffer copies) lives in the modified Token Ring
+// driver (src/dev/tr_driver.h); these objects are what that driver consults.
+
+#ifndef SRC_PROTO_CTMSP_H_
+#define SRC_PROTO_CTMSP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/kern/packet.h"
+#include "src/ring/frame.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+struct CtmspConnectionConfig {
+  RingAddress peer = 0;
+  uint16_t destination_device = 0;  // the destination device number in the CTMSP header
+  int ring_priority = 6;            // above any other traffic on the ring
+  bool driver_priority = true;      // served ahead of ARP/IP inside the driver
+  // Recovery option (section 5): retransmit the packet still in the fixed DMA buffer when a
+  // Ring Purge is detected. Requires the adapter's MAC-receive mode; off by default because
+  // the paper measured that mode's interrupt load as unacceptable.
+  bool retransmit_on_purge = false;
+};
+
+// Transmitter-side connection state: packet numbering, header precomputation bookkeeping,
+// and the optional purge-retransmit decision.
+class CtmspTransmitter {
+ public:
+  explicit CtmspTransmitter(CtmspConnectionConfig config) : config_(config) {}
+
+  const CtmspConnectionConfig& config() const { return config_; }
+
+  // True once the driver computed the Token Ring header for this connection (the ioctl
+  // handshake); packets cannot be built before that.
+  bool header_ready() const { return header_ready_; }
+  void MarkHeaderReady() { header_ready_ = true; }
+
+  uint32_t NextSeq() { return next_seq_++; }
+  uint32_t packets_built() const { return next_seq_ - 1; }
+
+  // Called when the last packet has been handed to the adapter; remembered so a purge
+  // notification can retransmit it out of the still-intact fixed DMA buffer.
+  void RememberLast(uint32_t seq, int64_t bytes) { last_sent_ = LastSent{seq, bytes}; }
+
+  // Purge notification from the driver (MAC-receive mode only). Returns the packet to
+  // retransmit, at most once per remembered packet.
+  std::optional<std::pair<uint32_t, int64_t>> OnPurgeDetected();
+
+  uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct LastSent {
+    uint32_t seq;
+    int64_t bytes;
+  };
+
+  CtmspConnectionConfig config_;
+  bool header_ready_ = false;
+  uint32_t next_seq_ = 1;
+  std::optional<LastSent> last_sent_;
+  uint64_t retransmissions_ = 0;
+};
+
+// Receiver-side connection state: sequence tracking, loss accounting, and duplicate
+// suppression. The paper anticipates the purge-recovery mode retransmitting a packet that
+// was in fact delivered ("the receiver ... might need to ignore a duplicate packet if the
+// transmitter incorrectly retransmits a packet"), so the receiver remembers which of the
+// last kDeliveredWindow sequence numbers it delivered: a re-arrival of a delivered packet is
+// a duplicate to ignore; a late arrival that fills a loss gap is delivered (and un-counted
+// from the losses); only packets older than the whole window are flagged out-of-order.
+class CtmspReceiver {
+ public:
+  enum class Verdict {
+    kDeliver,     // new, or a late arrival filling a loss gap — hand to the device
+    kDuplicate,   // already delivered; drop silently
+    kOutOfOrder,  // older than the tracking window — a driver bug; counted
+  };
+
+  static constexpr uint32_t kDeliveredWindow = 64;
+
+  explicit CtmspReceiver(CtmspConnectionConfig config) : config_(config) {}
+
+  Verdict OnPacket(uint32_t seq);
+
+  uint64_t delivered() const { return delivered_; }
+  uint64_t lost() const { return lost_; }  // gaps in the sequence (purge casualties)
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t out_of_order() const { return out_of_order_; }
+  uint64_t late_recovered() const { return late_recovered_; }
+  uint32_t highest_seq() const { return highest_seq_; }
+
+ private:
+  CtmspConnectionConfig config_;
+  uint32_t highest_seq_ = 0;
+  // Bit i set = sequence (highest_seq_ - i) was delivered; bit 0 is highest_seq_ itself.
+  uint64_t delivered_window_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t lost_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t out_of_order_ = 0;
+  uint64_t late_recovered_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_PROTO_CTMSP_H_

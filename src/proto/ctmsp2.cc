@@ -1,0 +1,182 @@
+#include "src/proto/ctmsp2.h"
+
+#include <utility>
+
+namespace ctms {
+
+const char* Ctmsp2ControlKindName(Ctmsp2ControlKind kind) {
+  switch (kind) {
+    case Ctmsp2ControlKind::kConnect:
+      return "connect";
+    case Ctmsp2ControlKind::kAccept:
+      return "accept";
+    case Ctmsp2ControlKind::kReject:
+      return "reject";
+    case Ctmsp2ControlKind::kStatus:
+      return "status";
+    case Ctmsp2ControlKind::kClose:
+      return "close";
+  }
+  return "?";
+}
+
+const char* Ctmsp2StateName(Ctmsp2State state) {
+  switch (state) {
+    case Ctmsp2State::kIdle:
+      return "idle";
+    case Ctmsp2State::kConnecting:
+      return "connecting";
+    case Ctmsp2State::kStreaming:
+      return "streaming";
+    case Ctmsp2State::kClosed:
+      return "closed";
+    case Ctmsp2State::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+Ctmsp2Session::Ctmsp2Session(Simulation* sim, Config config, SendControl send)
+    : sim_(sim), config_(config), send_(std::move(send)) {}
+
+void Ctmsp2Session::Connect(std::function<void(bool)> on_result) {
+  if (state_ != Ctmsp2State::kIdle) {
+    if (on_result) {
+      on_result(state_ == Ctmsp2State::kStreaming);
+    }
+    return;
+  }
+  state_ = Ctmsp2State::kConnecting;
+  on_connect_result_ = std::move(on_result);
+  connect_attempts_ = 0;
+  SendConnect();
+}
+
+void Ctmsp2Session::SendConnect() {
+  ++connect_attempts_;
+  send_(Ctmsp2ControlKind::kConnect, Ctmsp2Status{});
+  retry_event_ = sim_->After(config_.connect_retry, [this]() {
+    retry_event_ = kInvalidEventId;
+    if (state_ != Ctmsp2State::kConnecting) {
+      return;
+    }
+    if (connect_attempts_ >= config_.max_connect_retries) {
+      Fail();
+      return;
+    }
+    SendConnect();
+  });
+}
+
+void Ctmsp2Session::Close() {
+  if (retry_event_ != kInvalidEventId) {
+    sim_->Cancel(retry_event_);
+    retry_event_ = kInvalidEventId;
+  }
+  if (watchdog_event_ != kInvalidEventId) {
+    sim_->Cancel(watchdog_event_);
+    watchdog_event_ = kInvalidEventId;
+  }
+  if (state_ == Ctmsp2State::kStreaming || state_ == Ctmsp2State::kConnecting) {
+    send_(Ctmsp2ControlKind::kClose, Ctmsp2Status{});
+  }
+  state_ = Ctmsp2State::kClosed;
+}
+
+void Ctmsp2Session::ArmStatusWatchdog() {
+  if (watchdog_event_ != kInvalidEventId) {
+    sim_->Cancel(watchdog_event_);
+  }
+  watchdog_event_ = sim_->After(config_.status_timeout, [this]() {
+    watchdog_event_ = kInvalidEventId;
+    if (state_ == Ctmsp2State::kStreaming) {
+      Fail();  // the receiver went silent
+    }
+  });
+}
+
+void Ctmsp2Session::Fail() {
+  state_ = Ctmsp2State::kFailed;
+  if (on_connect_result_) {
+    auto callback = std::move(on_connect_result_);
+    on_connect_result_ = nullptr;
+    callback(false);
+  }
+}
+
+void Ctmsp2Session::OnControl(Ctmsp2ControlKind kind, const Ctmsp2Status& payload) {
+  switch (kind) {
+    case Ctmsp2ControlKind::kAccept:
+      if (state_ == Ctmsp2State::kConnecting) {
+        state_ = Ctmsp2State::kStreaming;
+        if (retry_event_ != kInvalidEventId) {
+          sim_->Cancel(retry_event_);
+          retry_event_ = kInvalidEventId;
+        }
+        ArmStatusWatchdog();
+        if (on_connect_result_) {
+          auto callback = std::move(on_connect_result_);
+          on_connect_result_ = nullptr;
+          callback(true);
+        }
+      }
+      break;
+    case Ctmsp2ControlKind::kReject:
+      if (state_ == Ctmsp2State::kConnecting) {
+        Fail();
+      }
+      break;
+    case Ctmsp2ControlKind::kStatus:
+      if (state_ == Ctmsp2State::kStreaming) {
+        last_status_ = payload;
+        last_status_at_ = sim_->Now();
+        ArmStatusWatchdog();
+      }
+      break;
+    case Ctmsp2ControlKind::kClose:
+      state_ = Ctmsp2State::kClosed;
+      break;
+    case Ctmsp2ControlKind::kConnect:
+      break;  // a transmitter ignores CONNECTs
+  }
+}
+
+Ctmsp2Responder::Ctmsp2Responder(Config config, SendControl send)
+    : config_(config), send_(std::move(send)) {}
+
+void Ctmsp2Responder::OnControl(Ctmsp2ControlKind kind, const Ctmsp2Status& payload) {
+  (void)payload;
+  switch (kind) {
+    case Ctmsp2ControlKind::kConnect:
+      // Idempotent: retransmitted CONNECTs get another ACCEPT (or REJECT).
+      if (config_.accept) {
+        connected_ = true;
+        send_(Ctmsp2ControlKind::kAccept, Ctmsp2Status{});
+      } else {
+        send_(Ctmsp2ControlKind::kReject, Ctmsp2Status{});
+      }
+      break;
+    case Ctmsp2ControlKind::kClose:
+      connected_ = false;
+      break;
+    default:
+      break;
+  }
+}
+
+void Ctmsp2Responder::OnDataPacket(uint32_t seq, int64_t buffer_bytes, uint32_t losses) {
+  if (!connected_) {
+    return;
+  }
+  if (++packets_since_status_ >= config_.status_every) {
+    packets_since_status_ = 0;
+    ++status_sent_;
+    Ctmsp2Status status;
+    status.highest_seq = seq;
+    status.buffer_bytes = buffer_bytes;
+    status.losses = losses;
+    send_(Ctmsp2ControlKind::kStatus, status);
+  }
+}
+
+}  // namespace ctms

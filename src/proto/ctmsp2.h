@@ -1,0 +1,133 @@
+// CTMSP session control — a concrete proposal for the protocol the paper set out to define.
+//
+// "It should be noted that the intent of this work was not to define the architecture of
+// this new protocol but rather to build a prototype system that could be measured to help
+// with the later definition of the protocol." (section 6). These state machines are that
+// later definition's connection layer, designed around what the measurements showed:
+//
+//   - CONNECT/ACCEPT handshake: establishes the static point-to-point connection and lets
+//     the receiver precompute its Token Ring header and reserve its jitter buffer before
+//     the first data packet (the prototype hard-coded all of this via ioctls);
+//   - periodic STATUS reports from the receiver (highest sequence seen, buffer occupancy,
+//     loss count): not flow control — a continuous-media source cannot be paused — but
+//     liveness detection and buffer-budget telemetry;
+//   - CLOSE/REJECT for orderly teardown and refusal.
+//
+// The machines are transport-agnostic: they emit control messages through an injected send
+// function and take timers from the simulation. Control traffic is low-rate and rides the
+// ordinary ARP/IP path (it is not deadline-bound; only the data path needs CTMSP's
+// priorities).
+
+#ifndef SRC_PROTO_CTMSP2_H_
+#define SRC_PROTO_CTMSP2_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+enum class Ctmsp2ControlKind : uint8_t {
+  kConnect = 1,
+  kAccept = 2,
+  kReject = 3,
+  kStatus = 4,
+  kClose = 5,
+};
+
+const char* Ctmsp2ControlKindName(Ctmsp2ControlKind kind);
+
+// STATUS payload (also reused as the generic control payload; unused fields are zero).
+struct Ctmsp2Status {
+  uint32_t highest_seq = 0;
+  int64_t buffer_bytes = 0;
+  uint32_t losses = 0;
+};
+
+enum class Ctmsp2State {
+  kIdle,
+  kConnecting,
+  kStreaming,
+  kClosed,
+  kFailed,  // connect retries exhausted, peer rejected, or status silence
+};
+
+const char* Ctmsp2StateName(Ctmsp2State state);
+
+// Transmitter-side session control.
+class Ctmsp2Session {
+ public:
+  struct Config {
+    SimDuration connect_retry = Milliseconds(500);
+    int max_connect_retries = 5;
+    // Streaming with no STATUS for this long means the receiver died (a crashed
+    // presentation machine must not leave the source streaming forever).
+    SimDuration status_timeout = Seconds(3);
+  };
+
+  using SendControl = std::function<void(Ctmsp2ControlKind, const Ctmsp2Status&)>;
+
+  Ctmsp2Session(Simulation* sim, Config config, SendControl send);
+
+  // Starts the handshake; `on_result(true)` once ACCEPTED, false on failure.
+  void Connect(std::function<void(bool)> on_result);
+  // Orderly teardown (sends CLOSE when a connection exists).
+  void Close();
+  // Feed received control messages here.
+  void OnControl(Ctmsp2ControlKind kind, const Ctmsp2Status& payload);
+
+  Ctmsp2State state() const { return state_; }
+  const Ctmsp2Status& last_status() const { return last_status_; }
+  SimTime last_status_at() const { return last_status_at_; }
+  int connect_attempts() const { return connect_attempts_; }
+
+ private:
+  void SendConnect();
+  void ArmStatusWatchdog();
+  void Fail();
+
+  Simulation* sim_;
+  Config config_;
+  SendControl send_;
+  Ctmsp2State state_ = Ctmsp2State::kIdle;
+  std::function<void(bool)> on_connect_result_;
+  int connect_attempts_ = 0;
+  EventId retry_event_ = kInvalidEventId;
+  EventId watchdog_event_ = kInvalidEventId;
+  Ctmsp2Status last_status_;
+  SimTime last_status_at_ = 0;
+};
+
+// Receiver-side session control: answers CONNECT, emits STATUS every `status_every` data
+// packets, accepts CLOSE.
+class Ctmsp2Responder {
+ public:
+  struct Config {
+    int status_every = 32;   // data packets per STATUS report
+    bool accept = true;      // false: REJECT incoming connections (capacity admission)
+  };
+
+  using SendControl = std::function<void(Ctmsp2ControlKind, const Ctmsp2Status&)>;
+
+  Ctmsp2Responder(Config config, SendControl send);
+
+  void OnControl(Ctmsp2ControlKind kind, const Ctmsp2Status& payload);
+  // Called for every delivered data packet with the receiver's current bookkeeping.
+  void OnDataPacket(uint32_t seq, int64_t buffer_bytes, uint32_t losses);
+
+  bool connected() const { return connected_; }
+  uint64_t status_sent() const { return status_sent_; }
+
+ private:
+  Config config_;
+  SendControl send_;
+  bool connected_ = false;
+  int packets_since_status_ = 0;
+  uint64_t status_sent_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_PROTO_CTMSP2_H_

@@ -1,0 +1,26 @@
+// Network interface abstraction between protocol layers (src/proto) and device drivers
+// (src/dev). Protocols hand packets down through this; drivers register input handlers for
+// the protocols at the receive split point.
+
+#ifndef SRC_PROTO_NETIF_H_
+#define SRC_PROTO_NETIF_H_
+
+#include "src/kern/packet.h"
+#include "src/ring/frame.h"
+
+namespace ctms {
+
+class NetIf {
+ public:
+  virtual ~NetIf() = default;
+
+  virtual RingAddress address() const = 0;
+
+  // Queues `packet` on the interface output queue (the stock path's if_snd). Returns false
+  // if the queue was full and the packet dropped. The driver charges its own CPU costs.
+  virtual bool Output(const Packet& packet) = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_PROTO_NETIF_H_

@@ -1,0 +1,94 @@
+#include "src/ring/adapter.h"
+
+#include <utility>
+
+namespace ctms {
+
+TokenRingAdapter::TokenRingAdapter(Machine* machine, TokenRing* ring, Config config)
+    : machine_(machine),
+      ring_(ring),
+      config_(config),
+      tx_dma_(machine->sim(), machine->name() + ".tr-tx-dma", &machine->cpu(), &machine->copies()),
+      rx_dma_(machine->sim(), machine->name() + ".tr-rx-dma", &machine->cpu(), &machine->copies()),
+      free_host_rx_buffers_(config.host_rx_buffers) {
+  address_ = ring->Attach(this);
+}
+
+bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(const TxStatus&)> on_complete) {
+  if (tx_busy_) {
+    return false;
+  }
+  tx_busy_ = true;
+  frame.src = address_;
+  // Card DMA pulls the packet out of the host fixed DMA buffer, then the wire transmission
+  // is requested. Completion (and the destination's copy acknowledgment) arrives at
+  // hardware-interrupt time via on_complete.
+  tx_dma_.Transfer(frame.payload_bytes, config_.dma_buffer_kind,
+                   [this, frame = std::move(frame), on_complete = std::move(on_complete)]() mutable {
+                     ring_->RequestTransmit(
+                         std::move(frame), [this, on_complete = std::move(on_complete)](
+                                               const TxOutcome& outcome) {
+                           tx_busy_ = false;
+                           if (outcome.delivered) {
+                             ++frames_transmitted_;
+                           }
+                           if (on_complete) {
+                             TxStatus status;
+                             status.ok = outcome.delivered;
+                             status.purge_hit = outcome.purge_hit;
+                             on_complete(status);
+                           }
+                         });
+                   });
+  return true;
+}
+
+void TokenRingAdapter::OnFrameOnWire(const Frame& frame) {
+  if (frame.kind == FrameKind::kMac) {
+    ++mac_frames_seen_;
+    if (config_.receive_mac_frames && mac_handler_) {
+      mac_handler_(frame);
+    }
+    return;
+  }
+  if (static_cast<int>(onboard_rx_.size()) >= config_.onboard_rx_slots) {
+    ++rx_overruns_;
+    return;
+  }
+  onboard_rx_.push_back(frame);
+  TryStartRxDma();
+}
+
+void TokenRingAdapter::TryStartRxDma() {
+  if (rx_dma_active_ || onboard_rx_.empty() || free_host_rx_buffers_ == 0) {
+    return;
+  }
+  rx_dma_active_ = true;
+  --free_host_rx_buffers_;
+  const Frame& frame = onboard_rx_.front();
+  const SimDuration jitter =
+      config_.rx_processing_jitter > 0
+          ? machine_->sim()->rng().UniformDuration(0, config_.rx_processing_jitter)
+          : 0;
+  machine_->sim()->After(jitter, [this]() {
+    const Frame in_dma = onboard_rx_.front();
+    rx_dma_.Transfer(in_dma.payload_bytes, config_.dma_buffer_kind, [this]() {
+      Frame done = std::move(onboard_rx_.front());
+      onboard_rx_.pop_front();
+      rx_dma_active_ = false;
+      ++frames_received_;
+      if (rx_handler_) {
+        rx_handler_(done);
+      }
+      TryStartRxDma();
+    });
+  });
+  (void)frame;
+}
+
+void TokenRingAdapter::ReleaseRxBuffer() {
+  ++free_host_rx_buffers_;
+  TryStartRxDma();
+}
+
+}  // namespace ctms

@@ -1,0 +1,57 @@
+#include "src/ring/frame.h"
+
+#include <sstream>
+
+namespace ctms {
+
+const char* ProtocolName(ProtocolId id) {
+  switch (id) {
+    case ProtocolId::kNone:
+      return "none";
+    case ProtocolId::kArp:
+      return "arp";
+    case ProtocolId::kIp:
+      return "ip";
+    case ProtocolId::kCtmsp:
+      return "ctmsp";
+  }
+  return "?";
+}
+
+int64_t WireBytes(const Frame& frame) {
+  if (frame.kind == FrameKind::kMac) {
+    return kMacFrameBytes;
+  }
+  return frame.payload_bytes + kFrameOverheadBytes;
+}
+
+std::string Frame::Describe() const {
+  std::ostringstream os;
+  if (kind == FrameKind::kMac) {
+    os << "MAC(";
+    switch (mac_type) {
+      case MacFrameType::kRingPurge:
+        os << "ring-purge";
+        break;
+      case MacFrameType::kActiveMonitorPresent:
+        os << "amp";
+        break;
+      case MacFrameType::kStandbyMonitorPresent:
+        os << "smp";
+        break;
+      case MacFrameType::kClaimToken:
+        os << "claim";
+        break;
+      case MacFrameType::kNone:
+        os << "?";
+        break;
+    }
+    os << ")";
+  } else {
+    os << ProtocolName(protocol) << " #" << seq << " " << src << "->" << dst << " "
+       << payload_bytes << "B prio=" << priority;
+  }
+  return os.str();
+}
+
+}  // namespace ctms

@@ -1,0 +1,81 @@
+// Token Ring frames.
+//
+// Only the fields that matter to timing and demultiplexing are modelled: addresses, priority,
+// on-wire size, the MAC/LLC distinction, and a SAP-like protocol selector used at the receive
+// "split point" (the place the paper modified to peel CTMSP packets off ahead of ARP and IP).
+// Payload content is carried as an opaque annotation for upper layers.
+
+#ifndef SRC_RING_FRAME_H_
+#define SRC_RING_FRAME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace ctms {
+
+// Station address on the ring. 0xFFFF is broadcast.
+using RingAddress = uint16_t;
+inline constexpr RingAddress kBroadcastAddress = 0xFFFF;
+
+enum class FrameKind {
+  kMac,  // Medium Access Control frame (Ring Purge, monitor-present, ...)
+  kLlc,  // data frame
+};
+
+enum class MacFrameType {
+  kNone,
+  kRingPurge,
+  kActiveMonitorPresent,
+  kStandbyMonitorPresent,
+  kClaimToken,
+};
+
+// Protocol selector carried in the frame header; the receive interrupt handler switches on
+// this at the split point. Values are arbitrary but stable.
+enum class ProtocolId : uint16_t {
+  kNone = 0,
+  kArp = 0x0806,
+  kIp = 0x0800,
+  kCtmsp = 0xC7C7,
+};
+
+const char* ProtocolName(ProtocolId id);
+
+struct Frame {
+  uint64_t id = 0;  // unique per simulation, assigned by the ring on transmit request
+  FrameKind kind = FrameKind::kLlc;
+  MacFrameType mac_type = MacFrameType::kNone;
+  RingAddress src = 0;
+  RingAddress dst = 0;
+  int priority = 0;  // 0..7, Token Ring access priority
+  ProtocolId protocol = ProtocolId::kNone;
+  int64_t payload_bytes = 0;  // bytes the host sees (the paper's "2000 bytes in length")
+  uint32_t seq = 0;           // upper-layer packet number (CTMSP's 7-bit number widened)
+  // Upper-layer demux hints carried opaquely inside the payload (headers-in-data).
+  uint8_t ip_proto = 0;
+  uint16_t port = 0;
+  bool is_ack = false;
+  uint32_t ack_seq = 0;
+  SimTime created_at = 0;
+  // Opaque upper-layer payload (e.g. an mbuf-chain descriptor); the ring never looks inside.
+  std::shared_ptr<void> annotation;
+
+  std::string Describe() const;
+};
+
+// Token Ring framing overhead added on the wire around the host-visible bytes: starting
+// delimiter, access control, frame control, addresses, FCS, ending delimiter, frame status.
+inline constexpr int64_t kFrameOverheadBytes = 21;
+
+// Size of a MAC control frame on the wire ("on the order of 20 bytes of data", section 4).
+inline constexpr int64_t kMacFrameBytes = 20;
+
+// Returns the full on-wire size of a frame.
+int64_t WireBytes(const Frame& frame);
+
+}  // namespace ctms
+
+#endif  // SRC_RING_FRAME_H_

@@ -1,0 +1,183 @@
+#include "src/ring/token_ring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/ring/adapter.h"
+
+namespace ctms {
+
+TokenRing::TokenRing(Simulation* sim) : TokenRing(sim, Config{}) {}
+
+TokenRing::TokenRing(Simulation* sim, Config config) : sim_(sim), config_(config) {}
+
+RingAddress TokenRing::Attach(TokenRingAdapter* adapter) {
+  const RingAddress address = next_address_++;
+  adapters_[address] = adapter;
+  return address;
+}
+
+void TokenRing::Detach(RingAddress address) { adapters_.erase(address); }
+
+SimDuration TokenRing::WireTime(int64_t bytes) const {
+  // bits / (bits per second), in nanoseconds.
+  return bytes * 8 * kSecond / config_.bits_per_second;
+}
+
+SimDuration TokenRing::TokenAcquisitionTime() const {
+  return config_.token_acquisition_base +
+         static_cast<SimDuration>(station_count()) * config_.per_station_latency;
+}
+
+void TokenRing::RequestTransmit(Frame frame, std::function<void(const TxOutcome&)> on_complete) {
+  frame.id = next_frame_id_++;
+  PendingTx tx{std::move(frame), std::move(on_complete), next_order_++};
+  // Insert keeping the queue sorted by priority descending, FIFO within a priority. This is
+  // the observable effect of the 802.5 reservation scheme: a priority-6 CTMSP frame passes
+  // queued priority-0 data frames of other stations but cannot preempt the wire.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->frame.priority >= tx.frame.priority) {
+    ++it;
+  }
+  pending_.insert(it, std::move(tx));
+  ServeNext();
+}
+
+void TokenRing::ServeNext() {
+  if (in_flight_.has_value() || pending_.empty() || serve_scheduled_) {
+    return;
+  }
+  const SimTime now = sim_->Now();
+  if (now < blocked_until_) {
+    serve_scheduled_ = true;
+    sim_->At(blocked_until_, [this]() {
+      serve_scheduled_ = false;
+      ServeNext();
+    });
+    return;
+  }
+  PendingTx tx = std::move(pending_.front());
+  pending_.pop_front();
+  BeginTransmission(std::move(tx));
+}
+
+void TokenRing::BeginTransmission(PendingTx tx) {
+  const SimDuration on_wire = TokenAcquisitionTime() + WireTime(WireBytes(tx.frame));
+  in_flight_ = std::move(tx);
+  wire_busy_time_ += on_wire;
+  in_flight_event_ = sim_->After(on_wire, [this]() {
+    in_flight_event_ = kInvalidEventId;
+    TxOutcome outcome;
+    outcome.delivered = true;
+    FinishTransmission(outcome);
+  });
+}
+
+void TokenRing::FinishTransmission(const TxOutcome& outcome) {
+  assert(in_flight_.has_value());
+  PendingTx done = std::move(*in_flight_);
+  in_flight_.reset();
+  if (outcome.delivered) {
+    ++frames_carried_;
+    bytes_carried_ += WireBytes(done.frame);
+    DeliverFrame(done.frame);
+  } else {
+    ++frames_lost_to_purge_;
+  }
+  if (done.on_complete) {
+    done.on_complete(outcome);
+  }
+  ServeNext();
+}
+
+void TokenRing::DeliverFrame(const Frame& frame) {
+  const SimTime now = sim_->Now();
+  for (const FrameMonitor& monitor : monitors_) {
+    monitor(frame, now);
+  }
+  if (frame.kind == FrameKind::kMac || frame.dst == kBroadcastAddress) {
+    for (auto& [address, adapter] : adapters_) {
+      if (address != frame.src) {
+        adapter->OnFrameOnWire(frame);
+      }
+    }
+    return;
+  }
+  auto it = adapters_.find(frame.dst);
+  if (it != adapters_.end()) {
+    it->second->OnFrameOnWire(frame);
+  }
+}
+
+void TokenRing::BroadcastMacFrame(MacFrameType type) {
+  Frame frame;
+  frame.id = next_frame_id_++;
+  frame.kind = FrameKind::kMac;
+  frame.mac_type = type;
+  frame.src = 0;  // the Active Monitor
+  frame.dst = kBroadcastAddress;
+  frame.priority = 7;
+  frame.created_at = sim_->Now();
+  ++frames_carried_;
+  bytes_carried_ += WireBytes(frame);
+  DeliverFrame(frame);
+}
+
+void TokenRing::BlockUntil(SimTime when) {
+  if (when > blocked_until_) {
+    blocked_until_ = when;
+  }
+}
+
+void TokenRing::TriggerRingPurge() {
+  ++purge_count_;
+  const SimTime now = sim_->Now();
+  for (const PurgeMonitor& monitor : purge_monitors_) {
+    monitor(now);
+  }
+  // The purge MAC frame circulates first (every station sees it as the ring resets); the
+  // destroyed frame's transmit status is only read by the host afterwards. Keeping that
+  // order lets a MAC-mode driver queue its retransmission ahead of the next packet.
+  BroadcastMacFrame(MacFrameType::kRingPurge);
+  // A frame on the wire at purge time is destroyed; the transmitting adapter learns nothing
+  // reliable from its frame status (the paper's uncorrectable loss).
+  if (in_flight_.has_value()) {
+    if (in_flight_event_ != kInvalidEventId) {
+      sim_->Cancel(in_flight_event_);
+      in_flight_event_ = kInvalidEventId;
+    }
+    TxOutcome outcome;
+    outcome.delivered = false;
+    outcome.purge_hit = true;
+    FinishTransmission(outcome);
+  }
+  BlockUntil(now + config_.purge_recovery);
+}
+
+void TokenRing::TriggerStationInsertion() {
+  ++insertion_count_;
+  const SimTime now = sim_->Now();
+  const SimDuration reset = sim_->rng().UniformDuration(config_.insertion_reset_min,
+                                                        config_.insertion_reset_max);
+  const int purges = static_cast<int>(
+      sim_->rng().UniformInt(config_.insertion_purges_min, config_.insertion_purges_max));
+  // The purges land back-to-back near the start of the reset window.
+  SimDuration offset = 0;
+  for (int i = 0; i < purges; ++i) {
+    sim_->After(offset, [this]() { TriggerRingPurge(); });
+    offset += config_.purge_recovery;
+  }
+  BlockUntil(now + reset);
+  ++passive_stations_;  // the newcomer occupies a ring position from now on
+}
+
+double TokenRing::Utilization() const {
+  const SimTime now = sim_->Now();
+  if (now <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(wire_busy_time_) / static_cast<double>(now);
+}
+
+}  // namespace ctms

@@ -1,0 +1,43 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ctms {
+
+EventId EventQueue::Schedule(SimTime when, Action action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) { return actions_.erase(id) > 0; }
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Action EventQueue::PopNext(SimTime* when) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  if (when != nullptr) {
+    *when = top.when;
+  }
+  return action;
+}
+
+}  // namespace ctms

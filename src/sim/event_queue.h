@@ -1,0 +1,68 @@
+// The discrete-event core: a priority queue of timestamped callbacks.
+//
+// Ordering is (time, insertion sequence): events scheduled for the same instant run in the
+// order they were scheduled, which makes every run with the same seed bit-reproducible.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ctms {
+
+// Opaque handle used to cancel a scheduled event.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` to run at absolute time `when`. Returns a handle for cancellation.
+  EventId Schedule(SimTime when, Action action);
+
+  // Cancels a previously scheduled event. Returns false if the event already ran or was
+  // already cancelled. The heap slot is lazily discarded when popped.
+  bool Cancel(EventId id);
+
+  bool empty() const { return actions_.empty(); }
+  size_t size() const { return actions_.size(); }
+
+  // Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const;
+
+  // Pops and returns the earliest pending event's action, advancing past any cancelled
+  // entries. Requires !empty(). `when` receives the event's scheduled time.
+  Action PopNext(SimTime* when);
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // ids are issued in scheduling order, so this is FIFO at a tie
+    }
+  };
+
+  // Drops heap entries whose action was cancelled.
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Action> actions_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,90 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace ctms {
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::After(SimDuration delay, EventQueue::Action action) {
+  assert(delay >= 0);
+  return queue_.Schedule(now_ + delay, std::move(action));
+}
+
+EventId Simulation::At(SimTime when, EventQueue::Action action) {
+  assert(when >= now_);
+  return queue_.Schedule(when, std::move(action));
+}
+
+bool Simulation::Cancel(EventId id) { return queue_.Cancel(id); }
+
+uint64_t Simulation::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  uint64_t count = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.NextTime() > until) {
+      break;
+    }
+    SimTime when = 0;
+    EventQueue::Action action = queue_.PopNext(&when);
+    now_ = when;
+    action();
+    ++count;
+    ++events_executed_;
+  }
+  if (now_ < until && !stop_requested_) {
+    now_ = until;
+  }
+  return count;
+}
+
+uint64_t Simulation::RunAll() {
+  stop_requested_ = false;
+  uint64_t count = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    SimTime when = 0;
+    EventQueue::Action action = queue_.PopNext(&when);
+    now_ = when;
+    action();
+    ++count;
+    ++events_executed_;
+  }
+  return count;
+}
+
+std::function<void()> SchedulePeriodic(Simulation* sim, SimTime first, SimDuration period,
+                                       std::function<void()> action) {
+  // The repetition state is held by whichever closures still reference it (the pending
+  // event and the cancel function); there is deliberately no self-referencing closure, so
+  // nothing leaks when the chain ends.
+  struct Periodic : std::enable_shared_from_this<Periodic> {
+    Simulation* sim = nullptr;
+    SimDuration period = 0;
+    std::function<void()> action;
+    bool cancelled = false;
+
+    void Fire() {
+      if (cancelled) {
+        return;
+      }
+      action();
+      if (!cancelled) {
+        auto self = shared_from_this();
+        sim->After(period, [self]() { self->Fire(); });
+      }
+    }
+  };
+  auto periodic = std::make_shared<Periodic>();
+  periodic->sim = sim;
+  periodic->period = period;
+  periodic->action = std::move(action);
+  sim->At(first, [periodic]() { periodic->Fire(); });
+  return [periodic]() {
+    periodic->cancelled = true;
+    periodic->action = nullptr;  // release captured resources promptly
+  };
+}
+
+}  // namespace ctms

@@ -1,0 +1,70 @@
+// Simulation: the clock plus the event queue plus run control.
+//
+// Every model object in the testbed holds a Simulation* and expresses behaviour as events
+// scheduled on it. Running is single-threaded and deterministic.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `action` to run after `delay` (>= 0) from now.
+  EventId After(SimDuration delay, EventQueue::Action action);
+
+  // Schedules `action` at the absolute time `when` (>= Now()).
+  EventId At(SimTime when, EventQueue::Action action);
+
+  // Cancels a pending event; returns false if it already ran.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or the clock would pass `until`.
+  // Events at exactly `until` are executed. Returns the number of events run.
+  uint64_t RunUntil(SimTime until);
+
+  // Runs events until the queue is empty. Returns the number of events run.
+  uint64_t RunAll();
+
+  // Runs for `span` of simulated time from the current instant.
+  uint64_t RunFor(SimDuration span) { return RunUntil(Now() + span); }
+
+  // Stops the current Run* call after the in-flight event completes.
+  void Stop() { stop_requested_ = true; }
+
+  bool has_pending_events() const { return !queue_.empty(); }
+  size_t pending_event_count() const { return queue_.size(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+  bool stop_requested_ = false;
+  uint64_t events_executed_ = 0;
+};
+
+// Convenience: schedules `action` every `period`, starting at `first` (absolute). Returns a
+// cancel function; calling it stops the repetition.
+std::function<void()> SchedulePeriodic(Simulation* sim, SimTime first, SimDuration period,
+                                       std::function<void()> action);
+
+}  // namespace ctms
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,34 @@
+#include "src/sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ctms {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  const int64_t abs_ns = negative ? -d : d;
+  const char* sign = negative ? "-" : "";
+  if (abs_ns < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 " ns", sign, abs_ns);
+  } else if (abs_ns < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3g us", sign,
+                  static_cast<double>(abs_ns) / static_cast<double>(kMicrosecond));
+  } else if (abs_ns < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.4g ms", sign,
+                  static_cast<double>(abs_ns) / static_cast<double>(kMillisecond));
+  } else if (abs_ns < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%.4g s", sign,
+                  static_cast<double>(abs_ns) / static_cast<double>(kSecond));
+  } else if (abs_ns < kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%.4g min", sign,
+                  static_cast<double>(abs_ns) / static_cast<double>(kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.4g h", sign,
+                  static_cast<double>(abs_ns) / static_cast<double>(kHour));
+  }
+  return buf;
+}
+
+}  // namespace ctms

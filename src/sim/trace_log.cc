@@ -1,0 +1,43 @@
+#include "src/sim/trace_log.h"
+
+#include <sstream>
+#include <utility>
+
+namespace ctms {
+
+void TraceLog::Append(SimTime time, std::string category, std::string message) {
+  if (!enabled_) {
+    return;
+  }
+  if (records_.size() >= max_records_) {
+    const size_t keep = max_records_ / 2;
+    dropped_ += records_.size() - keep;
+    records_.erase(records_.begin(), records_.end() - static_cast<ptrdiff_t>(keep));
+  }
+  records_.push_back(Record{time, std::move(category), std::move(message)});
+}
+
+void TraceLog::Clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceLog::Record> TraceLog::WithCategory(const std::string& category) const {
+  std::vector<Record> out;
+  for (const Record& r : records_) {
+    if (r.category == category) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::string TraceLog::Dump() const {
+  std::ostringstream os;
+  for (const Record& r : records_) {
+    os << FormatDuration(r.time) << "  " << r.category << "  " << r.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ctms

@@ -1,0 +1,54 @@
+// A lightweight in-memory trace of named simulation events.
+//
+// Model code appends (time, category, message) records; experiments use it for debugging and
+// for assertions about ordering (the paper debugged out-of-order packets the same way, with
+// the RT/PC pseudo-device tool of section 5.2.1).
+
+#ifndef SRC_SIM_TRACE_LOG_H_
+#define SRC_SIM_TRACE_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ctms {
+
+class TraceLog {
+ public:
+  struct Record {
+    SimTime time;
+    std::string category;
+    std::string message;
+  };
+
+  // When disabled, Append is a cheap no-op; experiments enable it only while debugging.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Caps memory use; the oldest half is discarded when the cap is hit.
+  void set_capacity(size_t max_records) { max_records_ = max_records; }
+
+  void Append(SimTime time, std::string category, std::string message);
+
+  const std::vector<Record>& records() const { return records_; }
+  size_t dropped() const { return dropped_; }
+  void Clear();
+
+  // Returns the records whose category matches exactly.
+  std::vector<Record> WithCategory(const std::string& category) const;
+
+  // Renders the log ("time  category  message" per line) for test failures and debugging.
+  std::string Dump() const;
+
+ private:
+  std::vector<Record> records_;
+  size_t max_records_ = 1 << 20;
+  size_t dropped_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_SIM_TRACE_LOG_H_

@@ -1,0 +1,150 @@
+#include "src/workload/ring_traffic.h"
+
+#include <utility>
+
+namespace ctms {
+
+// --- MacFrameTraffic -------------------------------------------------------------------------
+
+MacFrameTraffic::MacFrameTraffic(TokenRing* ring, Rng rng, Config config)
+    : ring_(ring), rng_(std::move(rng)), config_(config) {
+  src_ = ring_->AllocateGhostAddress();
+}
+
+MacFrameTraffic::~MacFrameTraffic() { Stop(); }
+
+double MacFrameTraffic::FramesPerSecond() const {
+  const double bits_per_frame = static_cast<double>(kMacFrameBytes) * 8.0;
+  return static_cast<double>(ring_->config().bits_per_second) * config_.bandwidth_fraction /
+         bits_per_frame;
+}
+
+void MacFrameTraffic::Start() {
+  Stop();
+  running_ = true;
+  ScheduleNext();
+}
+
+void MacFrameTraffic::Stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    ring_->sim()->Cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void MacFrameTraffic::ScheduleNext() {
+  if (!running_ || config_.bandwidth_fraction <= 0.0) {
+    return;
+  }
+  const auto mean = static_cast<SimDuration>(static_cast<double>(kSecond) / FramesPerSecond());
+  const SimDuration wait = rng_.ExponentialDuration(mean);
+  next_event_ = ring_->sim()->After(wait, [this]() {
+    next_event_ = kInvalidEventId;
+    Frame frame;
+    frame.kind = FrameKind::kMac;
+    frame.mac_type = MacFrameType::kStandbyMonitorPresent;
+    frame.src = src_;
+    frame.dst = kBroadcastAddress;
+    frame.priority = 7;
+    frame.created_at = ring_->sim()->Now();
+    ring_->RequestTransmit(std::move(frame), nullptr);
+    ++frames_sent_;
+    ScheduleNext();
+  });
+}
+
+// --- GhostTraffic ----------------------------------------------------------------------------
+
+GhostTraffic::GhostTraffic(TokenRing* ring, Rng rng, Config config)
+    : ring_(ring), rng_(std::move(rng)), config_(config) {
+  src_ = ring_->AllocateGhostAddress();
+  ghost_dst_ = ring_->AllocateGhostAddress();
+}
+
+GhostTraffic::~GhostTraffic() { Stop(); }
+
+void GhostTraffic::Start() {
+  Stop();
+  running_ = true;
+  ScheduleNext();
+}
+
+void GhostTraffic::Stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    ring_->sim()->Cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void GhostTraffic::ScheduleNext() {
+  if (!running_) {
+    return;
+  }
+  const SimDuration wait = rng_.ExponentialDuration(config_.interarrival_mean);
+  next_event_ = ring_->sim()->After(wait, [this]() {
+    next_event_ = kInvalidEventId;
+    const int burst = static_cast<int>(rng_.UniformInt(config_.burst_min, config_.burst_max));
+    SendBurst(burst);
+    ScheduleNext();
+  });
+}
+
+void GhostTraffic::SendBurst(int remaining) {
+  if (remaining <= 0 || !running_) {
+    return;
+  }
+  Frame frame;
+  frame.kind = FrameKind::kLlc;
+  frame.src = src_;
+  frame.dst = config_.target != 0 ? config_.target : ghost_dst_;
+  frame.priority = config_.priority;
+  frame.protocol = config_.protocol;
+  frame.payload_bytes = rng_.UniformInt(config_.min_bytes, config_.max_bytes);
+  frame.seq = next_seq_++;
+  frame.ip_proto = config_.ip_proto;
+  frame.port = config_.port;
+  frame.created_at = ring_->sim()->Now();
+  ring_->RequestTransmit(std::move(frame), nullptr);
+  ++frames_sent_;
+  if (remaining > 1) {
+    ring_->sim()->After(config_.burst_spacing, [this, remaining]() { SendBurst(remaining - 1); });
+  }
+}
+
+// --- InsertionSchedule -----------------------------------------------------------------------
+
+InsertionSchedule::InsertionSchedule(TokenRing* ring, Rng rng, Config config)
+    : ring_(ring), rng_(std::move(rng)), config_(config) {}
+
+InsertionSchedule::~InsertionSchedule() { Stop(); }
+
+void InsertionSchedule::Start() {
+  Stop();
+  running_ = true;
+  ScheduleNext();
+}
+
+void InsertionSchedule::Stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    ring_->sim()->Cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void InsertionSchedule::ScheduleNext() {
+  if (!running_ || config_.mean_interval <= 0) {
+    return;
+  }
+  const SimDuration wait = rng_.ExponentialDuration(config_.mean_interval);
+  next_event_ = ring_->sim()->After(wait, [this]() {
+    next_event_ = kInvalidEventId;
+    ++insertions_;
+    ring_->TriggerStationInsertion();
+    ScheduleNext();
+  });
+}
+
+}  // namespace ctms

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dev/vca.h"
+#include "src/hw/machine.h"
+#include "src/kern/unix_kernel.h"
+#include "src/proto/ctmsp2.h"
+#include "src/sim/simulation.h"
+
+namespace ctms {
+namespace {
+
+// Harness: a session and a responder with a lossy in-memory wire between them.
+class Ctmsp2Fixture : public ::testing::Test {
+ protected:
+  Ctmsp2Fixture()
+      : sim_(1),
+        session_(&sim_, Ctmsp2Session::Config{},
+                 [this](Ctmsp2ControlKind kind, const Ctmsp2Status& payload) {
+                   tx_log_.push_back(kind);
+                   if (!drop_to_responder_) {
+                     // A little wire latency keeps causality honest.
+                     sim_.After(Milliseconds(2), [this, kind, payload]() {
+                       responder_.OnControl(kind, payload);
+                     });
+                   }
+                 }),
+        responder_(Ctmsp2Responder::Config{},
+                   [this](Ctmsp2ControlKind kind, const Ctmsp2Status& payload) {
+                     rx_log_.push_back(kind);
+                     if (!drop_to_session_) {
+                       sim_.After(Milliseconds(2), [this, kind, payload]() {
+                         session_.OnControl(kind, payload);
+                       });
+                     }
+                   }) {}
+
+  Simulation sim_;
+  Ctmsp2Session session_;
+  Ctmsp2Responder responder_;
+  std::vector<Ctmsp2ControlKind> tx_log_;
+  std::vector<Ctmsp2ControlKind> rx_log_;
+  bool drop_to_responder_ = false;
+  bool drop_to_session_ = false;
+};
+
+TEST_F(Ctmsp2Fixture, HandshakeEstablishesStreaming) {
+  bool result = false;
+  bool called = false;
+  session_.Connect([&](bool ok) {
+    called = true;
+    result = ok;
+  });
+  EXPECT_EQ(session_.state(), Ctmsp2State::kConnecting);
+  sim_.RunUntil(Seconds(1));
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(result);
+  EXPECT_EQ(session_.state(), Ctmsp2State::kStreaming);
+  EXPECT_TRUE(responder_.connected());
+  EXPECT_EQ(session_.connect_attempts(), 1);
+}
+
+TEST_F(Ctmsp2Fixture, ConnectRetriesOnLossThenSucceeds) {
+  drop_to_responder_ = true;
+  session_.Connect(nullptr);
+  sim_.RunUntil(Milliseconds(600));  // first CONNECT lost; one retry due
+  drop_to_responder_ = false;
+  sim_.RunUntil(Seconds(3));
+  EXPECT_EQ(session_.state(), Ctmsp2State::kStreaming);
+  EXPECT_GE(session_.connect_attempts(), 2);
+}
+
+TEST_F(Ctmsp2Fixture, ConnectFailsAfterMaxRetries) {
+  drop_to_responder_ = true;
+  bool result = true;
+  session_.Connect([&](bool ok) { result = ok; });
+  sim_.RunUntil(Seconds(10));
+  EXPECT_FALSE(result);
+  EXPECT_EQ(session_.state(), Ctmsp2State::kFailed);
+  EXPECT_EQ(session_.connect_attempts(), 5);
+}
+
+TEST_F(Ctmsp2Fixture, RejectFailsTheSession) {
+  Ctmsp2Responder::Config refusing;
+  refusing.accept = false;
+  Ctmsp2Responder gatekeeper(refusing,
+                             [this](Ctmsp2ControlKind kind, const Ctmsp2Status& payload) {
+                               sim_.After(Milliseconds(2), [this, kind, payload]() {
+                                 session_.OnControl(kind, payload);
+                               });
+                             });
+  bool result = true;
+  session_.Connect([&](bool ok) { result = ok; });
+  // Route the CONNECT to the refusing responder by hand.
+  gatekeeper.OnControl(Ctmsp2ControlKind::kConnect, Ctmsp2Status{});
+  sim_.RunUntil(Seconds(1));
+  EXPECT_FALSE(result);
+  EXPECT_EQ(session_.state(), Ctmsp2State::kFailed);
+  EXPECT_FALSE(gatekeeper.connected());
+}
+
+TEST_F(Ctmsp2Fixture, DuplicateConnectGetsDuplicateAccept) {
+  responder_.OnControl(Ctmsp2ControlKind::kConnect, Ctmsp2Status{});
+  responder_.OnControl(Ctmsp2ControlKind::kConnect, Ctmsp2Status{});
+  EXPECT_EQ(rx_log_.size(), 2u);
+  EXPECT_EQ(rx_log_[0], Ctmsp2ControlKind::kAccept);
+  EXPECT_EQ(rx_log_[1], Ctmsp2ControlKind::kAccept);
+}
+
+TEST_F(Ctmsp2Fixture, StatusEveryNthPacketCarriesBookkeeping) {
+  session_.Connect(nullptr);
+  sim_.RunUntil(Seconds(1));
+  ASSERT_TRUE(responder_.connected());
+  for (uint32_t seq = 1; seq <= 96; ++seq) {
+    responder_.OnDataPacket(seq, 6000, 0);
+  }
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(responder_.status_sent(), 3u);  // every 32 packets
+  EXPECT_EQ(session_.last_status().highest_seq, 96u);
+  EXPECT_EQ(session_.last_status().buffer_bytes, 6000);
+}
+
+TEST_F(Ctmsp2Fixture, SilentReceiverTripsTheWatchdog) {
+  session_.Connect(nullptr);
+  sim_.RunUntil(Seconds(1));
+  ASSERT_EQ(session_.state(), Ctmsp2State::kStreaming);
+  // No data flows, so no STATUS arrives; the watchdog must declare the peer dead.
+  sim_.RunUntil(Seconds(10));
+  EXPECT_EQ(session_.state(), Ctmsp2State::kFailed);
+}
+
+TEST_F(Ctmsp2Fixture, StatusKeepsTheWatchdogFed) {
+  session_.Connect(nullptr);
+  sim_.RunUntil(Seconds(1));
+  // Trickle data so a STATUS goes out every ~400 ms (32 packets at 12 ms).
+  auto cancel = SchedulePeriodic(&sim_, sim_.Now(), Milliseconds(12), [this]() {
+    static uint32_t seq = 0;
+    responder_.OnDataPacket(++seq, 4000, 0);
+  });
+  sim_.RunUntil(Seconds(20));
+  cancel();
+  EXPECT_EQ(session_.state(), Ctmsp2State::kStreaming);
+}
+
+TEST_F(Ctmsp2Fixture, CloseIsOrderly) {
+  session_.Connect(nullptr);
+  sim_.RunUntil(Seconds(1));
+  session_.Close();
+  sim_.RunUntil(Seconds(2));
+  EXPECT_EQ(session_.state(), Ctmsp2State::kClosed);
+  EXPECT_FALSE(responder_.connected());
+  // And the watchdog does not resurrect a closed session as failed.
+  sim_.RunUntil(Seconds(10));
+  EXPECT_EQ(session_.state(), Ctmsp2State::kClosed);
+}
+
+TEST_F(Ctmsp2Fixture, NamesAreStable) {
+  EXPECT_STREQ(Ctmsp2StateName(Ctmsp2State::kStreaming), "streaming");
+  EXPECT_STREQ(Ctmsp2ControlKindName(Ctmsp2ControlKind::kAccept), "accept");
+}
+
+// --- the adaptive jitter buffer ---------------------------------------------------------
+
+class AdaptiveSinkFixture : public ::testing::Test {
+ protected:
+  AdaptiveSinkFixture() : sim_(1), machine_(&sim_, "rx"), kernel_(&machine_) {
+    machine_.cpu().set_dispatch_base(0);
+    machine_.cpu().set_dispatch_jitter(0);
+    VcaSinkDriver::Config config;
+    config.adaptive = true;
+    config.prime_packets = 2;
+    config.copy_to_device = false;
+    sink_ = std::make_unique<VcaSinkDriver>(&kernel_, nullptr, config);
+  }
+
+  void Deliver(uint32_t seq) {
+    Packet packet;
+    packet.bytes = 2000;
+    packet.seq = seq;
+    packet.created_at = sim_.Now();
+    sink_->OnCtmspDeliver(packet, false, []() {});
+  }
+
+  Simulation sim_;
+  Machine machine_;
+  UnixKernel kernel_;
+  std::unique_ptr<VcaSinkDriver> sink_;
+};
+
+TEST_F(AdaptiveSinkFixture, GrowsTargetOnStallAndStopsGlitching) {
+  // Steady delivery, then a 60 ms stall, then steady again — twice. The adaptive buffer
+  // must grow past the stall size the first time and absorb the second one silently.
+  uint32_t seq = 0;
+  SimTime t = 0;
+  auto deliver_for = [&](SimDuration span) {
+    const SimTime end = t + span;
+    while (t < end) {
+      sim_.RunUntil(t);
+      Deliver(++seq);
+      t += Milliseconds(12);
+    }
+  };
+  deliver_for(Milliseconds(600));
+  t += Milliseconds(60);  // stall one: must cause a rebuffer
+  deliver_for(Milliseconds(600));
+  const uint64_t rebuffers_after_first = sink_->rebuffers();
+  EXPECT_GE(rebuffers_after_first, 1u);
+  const int grown_target = sink_->target_packets();
+  EXPECT_GT(grown_target, 2);
+
+  t += Milliseconds(60);  // stall two: same size, now absorbed
+  deliver_for(Milliseconds(600));
+  sim_.RunUntil(t);
+  EXPECT_EQ(sink_->rebuffers(), rebuffers_after_first);
+  EXPECT_EQ(sink_->target_packets(), grown_target);
+}
+
+TEST_F(AdaptiveSinkFixture, TargetIsCapped) {
+  uint32_t seq = 0;
+  SimTime t = 0;
+  for (int burst = 0; burst < 12; ++burst) {
+    for (int i = 0; i < 30; ++i) {
+      sim_.RunUntil(t);
+      Deliver(++seq);
+      t += Milliseconds(12);
+    }
+    t += Milliseconds(500);  // enormous stall every burst
+  }
+  sim_.RunUntil(t);
+  EXPECT_LE(sink_->target_packets(), 16);
+}
+
+TEST_F(AdaptiveSinkFixture, MeanBufferedBytesReflectsDepth) {
+  uint32_t seq = 0;
+  for (SimTime t = 0; t < Seconds(3); t += Milliseconds(12)) {
+    sim_.RunUntil(t);
+    Deliver(++seq);
+  }
+  // Steady state around the 2-packet prime: mean occupancy in the low thousands of bytes.
+  EXPECT_GT(sink_->MeanBufferedBytes(), 1000.0);
+  EXPECT_LT(sink_->MeanBufferedBytes(), 8000.0);
+}
+
+}  // namespace
+}  // namespace ctms

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/dma.h"
+#include "src/hw/machine.h"
+#include "src/hw/memory.h"
+#include "src/sim/simulation.h"
+
+namespace ctms {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : sim_(1), cpu_(&sim_, "cpu") {
+    cpu_.set_dispatch_base(0);
+    cpu_.set_dispatch_jitter(0);
+  }
+  Simulation sim_;
+  Cpu cpu_;
+};
+
+TEST_F(CpuTest, RunsStepsSequentially) {
+  std::vector<SimTime> times;
+  Cpu::Job job;
+  job.name = "j";
+  job.level = Spl::kImp;
+  job.steps.push_back(Cpu::Step{Microseconds(10), [&]() { times.push_back(sim_.Now()); }});
+  job.steps.push_back(Cpu::Step{Microseconds(20), [&]() { times.push_back(sim_.Now()); }});
+  cpu_.SubmitInterrupt(std::move(job));
+  sim_.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Microseconds(10));
+  EXPECT_EQ(times[1], Microseconds(30));
+}
+
+TEST_F(CpuTest, DispatchLatencyDelaysFirstStep) {
+  cpu_.set_dispatch_base(Microseconds(40));
+  SimTime entry = -1;
+  cpu_.SubmitInterrupt("j", Spl::kImp, 0, [&]() { entry = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_EQ(entry, Microseconds(40));
+}
+
+TEST_F(CpuTest, SameLevelJobsSerializeFifo) {
+  std::vector<int> order;
+  cpu_.SubmitInterrupt("a", Spl::kImp, Microseconds(10), [&]() { order.push_back(1); });
+  cpu_.SubmitInterrupt("b", Spl::kImp, Microseconds(10), [&]() { order.push_back(2); });
+  sim_.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim_.Now(), Microseconds(20));
+}
+
+TEST_F(CpuTest, HigherLevelPreemptsAtStepBoundary) {
+  std::vector<std::string> order;
+  Cpu::Job low;
+  low.name = "low";
+  low.level = Spl::kNet;
+  low.steps.push_back(Cpu::Step{Microseconds(10), [&]() { order.push_back("low1"); }});
+  low.steps.push_back(Cpu::Step{Microseconds(10), [&]() { order.push_back("low2"); }});
+  cpu_.SubmitInterrupt(std::move(low));
+  // Arrives mid-first-step; must run between low's steps, not after both.
+  sim_.After(Microseconds(5), [&]() {
+    cpu_.SubmitInterrupt("high", Spl::kClock, Microseconds(3), [&]() { order.push_back("high"); });
+  });
+  sim_.RunAll();
+  EXPECT_EQ(order, (std::vector<std::string>{"low1", "high", "low2"}));
+}
+
+TEST_F(CpuTest, EqualLevelDoesNotPreempt) {
+  std::vector<std::string> order;
+  Cpu::Job first;
+  first.name = "first";
+  first.level = Spl::kImp;
+  first.steps.push_back(Cpu::Step{Microseconds(10), [&]() { order.push_back("f1"); }});
+  first.steps.push_back(Cpu::Step{Microseconds(10), [&]() { order.push_back("f2"); }});
+  cpu_.SubmitInterrupt(std::move(first));
+  sim_.After(Microseconds(5), [&]() {
+    cpu_.SubmitInterrupt("second", Spl::kImp, Microseconds(1), [&]() { order.push_back("s"); });
+  });
+  sim_.RunAll();
+  EXPECT_EQ(order, (std::vector<std::string>{"f1", "f2", "s"}));
+}
+
+TEST_F(CpuTest, StepSplRaisesEffectiveLevel) {
+  // A kNet job with a kHigh protected step defers even a kClock interrupt.
+  std::vector<std::string> order;
+  Cpu::Job low;
+  low.name = "low";
+  low.level = Spl::kNet;
+  low.steps.push_back(Cpu::Step{Microseconds(10), [&]() { order.push_back("protected"); },
+                                Spl::kHigh});
+  low.steps.push_back(Cpu::Step{Microseconds(10), [&]() { order.push_back("tail"); }});
+  cpu_.SubmitInterrupt(std::move(low));
+  sim_.After(Microseconds(2), [&]() {
+    cpu_.SubmitInterrupt("clock", Spl::kClock, Microseconds(1), [&]() { order.push_back("clk"); });
+  });
+  sim_.RunAll();
+  // The clock runs after the protected step but before the kNet tail.
+  EXPECT_EQ(order, (std::vector<std::string>{"protected", "clk", "tail"}));
+}
+
+TEST_F(CpuTest, ProcessWorkYieldsToInterrupts) {
+  std::vector<std::string> order;
+  Cpu::Job proc;
+  proc.name = "proc";
+  proc.level = Spl::kNone;
+  for (int i = 0; i < 4; ++i) {
+    proc.steps.push_back(Cpu::Step{Microseconds(100), nullptr});
+  }
+  proc.on_done = [&]() { order.push_back("proc"); };
+  cpu_.SubmitProcess(std::move(proc));
+  sim_.After(Microseconds(150), [&]() {
+    cpu_.SubmitInterrupt("intr", Spl::kImp, Microseconds(10), [&]() { order.push_back("intr"); });
+  });
+  sim_.RunAll();
+  EXPECT_EQ(order, (std::vector<std::string>{"intr", "proc"}));
+  // Interrupt delayed only to the 200us step boundary, then 10us of work.
+  EXPECT_EQ(sim_.Now(), Microseconds(410));
+}
+
+TEST_F(CpuTest, PreemptedJobResumesAfterInterrupt) {
+  SimTime done_at = -1;
+  Cpu::Job proc;
+  proc.name = "proc";
+  proc.steps.push_back(Cpu::Step{Microseconds(100), nullptr});
+  proc.steps.push_back(Cpu::Step{Microseconds(100), nullptr});
+  proc.on_done = [&]() { done_at = sim_.Now(); };
+  cpu_.SubmitProcess(std::move(proc));
+  sim_.After(Microseconds(50), [&]() {
+    cpu_.SubmitInterrupt("intr", Spl::kImp, Microseconds(30), nullptr);
+  });
+  sim_.RunAll();
+  EXPECT_EQ(done_at, Microseconds(230));  // 100 + 30 + 100
+}
+
+TEST_F(CpuTest, ContentionStretchesSteps) {
+  cpu_.set_contention_stretch(1.5);
+  cpu_.BeginMemoryContention();
+  SimTime done = -1;
+  cpu_.SubmitInterrupt("j", Spl::kImp, Microseconds(100), [&]() { done = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_EQ(done, Microseconds(150));
+  cpu_.EndMemoryContention();
+}
+
+TEST_F(CpuTest, BusyAccounting) {
+  cpu_.SubmitInterrupt("a", Spl::kImp, Microseconds(30), nullptr);
+  cpu_.SubmitInterrupt("b", Spl::kImp, Microseconds(70), nullptr);
+  sim_.RunAll();
+  EXPECT_EQ(cpu_.busy_time(), Microseconds(100));
+  EXPECT_EQ(cpu_.busy_by_job().at("a"), Microseconds(30));
+  EXPECT_EQ(cpu_.busy_by_job().at("b"), Microseconds(70));
+  EXPECT_EQ(cpu_.jobs_completed(), 2u);
+  EXPECT_DOUBLE_EQ(cpu_.Utilization(), 1.0);
+}
+
+TEST_F(CpuTest, EmptyJobCompletes) {
+  bool done = false;
+  Cpu::Job job;
+  job.name = "empty";
+  job.on_done = [&]() { done = true; };
+  cpu_.SubmitProcess(std::move(job));
+  sim_.RunAll();
+  EXPECT_TRUE(done);
+}
+
+
+TEST_F(CpuTest, NestedPreemptionResumesInLevelOrder) {
+  std::vector<std::string> order;
+  Cpu::Job base;
+  base.name = "base";
+  base.level = Spl::kNone;
+  for (int i = 0; i < 3; ++i) {
+    base.steps.push_back(Cpu::Step{Microseconds(100), nullptr});
+  }
+  base.on_done = [&]() { order.push_back("base"); };
+  cpu_.SubmitProcess(std::move(base));
+  // kNet arrives during base's first step; kClock arrives during kNet's work.
+  sim_.After(Microseconds(50), [&]() {
+    Cpu::Job net;
+    net.name = "net";
+    net.level = Spl::kNet;
+    net.steps.push_back(Cpu::Step{Microseconds(100), nullptr, Spl::kNet});
+    net.steps.push_back(Cpu::Step{Microseconds(100), nullptr, Spl::kNet});
+    net.on_done = [&]() { order.push_back("net"); };
+    cpu_.SubmitInterrupt(std::move(net));
+  });
+  sim_.After(Microseconds(150), [&]() {
+    cpu_.SubmitInterrupt("clock", Spl::kClock, Microseconds(30),
+                         [&]() { order.push_back("clock"); });
+  });
+  sim_.RunAll();
+  // clock preempts net which preempted base; completion order is innermost first.
+  EXPECT_EQ(order, (std::vector<std::string>{"clock", "net", "base"}));
+}
+
+TEST_F(CpuTest, NestedContentionIsSingleFactor) {
+  cpu_.set_contention_stretch(1.5);
+  cpu_.BeginMemoryContention();
+  cpu_.BeginMemoryContention();  // two concurrent DMA transfers: still one contended bus
+  SimTime done = -1;
+  cpu_.SubmitInterrupt("j", Spl::kImp, Microseconds(100), [&]() { done = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_EQ(done, Microseconds(150));
+  cpu_.EndMemoryContention();
+  cpu_.EndMemoryContention();
+  SimTime done2 = -1;
+  cpu_.SubmitInterrupt("k", Spl::kImp, Microseconds(100),
+                       [&]() { done2 = sim_.Now() - done; });
+  sim_.RunAll();
+  EXPECT_EQ(done2, Microseconds(100));  // back to full speed
+}
+
+TEST(CopyEngineTest, CostDependsOnMemoryKinds) {
+  CopyEngine engine;
+  const int64_t bytes = 2000;
+  // The paper's headline rate: 1 us/byte into IO Channel Memory -> 2000 us for a packet.
+  EXPECT_EQ(engine.CopyCost(bytes, MemoryKind::kSystemMemory, MemoryKind::kIoChannelMemory),
+            Microseconds(2000));
+  EXPECT_LT(engine.CopyCost(bytes, MemoryKind::kSystemMemory, MemoryKind::kSystemMemory),
+            Microseconds(2000));
+  EXPECT_GT(engine.CopyCost(bytes, MemoryKind::kIoChannelMemory, MemoryKind::kIoChannelMemory),
+            Microseconds(2000));
+}
+
+TEST(CopyEngineTest, Accounting) {
+  CopyEngine engine;
+  engine.RecordCpuCopy(100);
+  engine.RecordCpuCopy(200);
+  engine.RecordDmaCopy(1000);
+  EXPECT_EQ(engine.cpu_copies(), 2u);
+  EXPECT_EQ(engine.cpu_bytes_copied(), 300);
+  EXPECT_EQ(engine.dma_copies(), 1u);
+  EXPECT_EQ(engine.dma_bytes_copied(), 1000);
+  engine.ResetCounters();
+  EXPECT_EQ(engine.cpu_copies(), 0u);
+}
+
+class DmaTest : public ::testing::Test {
+ protected:
+  DmaTest() : sim_(1), machine_(&sim_, "m") {}
+  Simulation sim_;
+  Machine machine_;
+};
+
+TEST_F(DmaTest, TransferTakesBytesTimesRate) {
+  DmaEngine dma(&sim_, "d", &machine_.cpu(), &machine_.copies());
+  dma.set_rate_per_byte(Microseconds(1));
+  SimTime done = -1;
+  dma.Transfer(500, MemoryKind::kIoChannelMemory, [&]() { done = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_EQ(done, Microseconds(500));
+  EXPECT_EQ(dma.transfers_completed(), 1u);
+  EXPECT_EQ(dma.bytes_transferred(), 500);
+}
+
+TEST_F(DmaTest, TransfersQueueFifo) {
+  DmaEngine dma(&sim_, "d", &machine_.cpu(), &machine_.copies());
+  dma.set_rate_per_byte(Microseconds(1));
+  std::vector<SimTime> done;
+  dma.Transfer(100, MemoryKind::kIoChannelMemory, [&]() { done.push_back(sim_.Now()); });
+  dma.Transfer(100, MemoryKind::kIoChannelMemory, [&]() { done.push_back(sim_.Now()); });
+  sim_.RunAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], Microseconds(100));
+  EXPECT_EQ(done[1], Microseconds(200));
+}
+
+TEST_F(DmaTest, SystemMemoryDmaSlowsCpu) {
+  machine_.cpu().set_dispatch_base(0);
+  machine_.cpu().set_dispatch_jitter(0);
+  machine_.cpu().set_contention_stretch(1.5);
+  DmaEngine dma(&sim_, "d", &machine_.cpu(), &machine_.copies());
+  dma.set_rate_per_byte(Microseconds(1));
+  dma.Transfer(1000, MemoryKind::kSystemMemory, nullptr);
+  SimTime cpu_done = -1;
+  machine_.cpu().SubmitInterrupt("work", Spl::kImp, Microseconds(100),
+                                 [&]() { cpu_done = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_EQ(cpu_done, Microseconds(150));  // stretched by arbitration
+}
+
+TEST_F(DmaTest, IoChannelMemoryDmaDoesNotSlowCpu) {
+  machine_.cpu().set_dispatch_base(0);
+  machine_.cpu().set_dispatch_jitter(0);
+  DmaEngine dma(&sim_, "d", &machine_.cpu(), &machine_.copies());
+  dma.set_rate_per_byte(Microseconds(1));
+  dma.Transfer(1000, MemoryKind::kIoChannelMemory, nullptr);
+  SimTime cpu_done = -1;
+  machine_.cpu().SubmitInterrupt("work", Spl::kImp, Microseconds(100),
+                                 [&]() { cpu_done = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_EQ(cpu_done, Microseconds(100));
+}
+
+TEST(MachineTest, ChargeCpuCopyRecordsAndPrices) {
+  Simulation sim(1);
+  Machine machine(&sim, "m");
+  const SimDuration cost = machine.ChargeCpuCopy(2000, MemoryKind::kSystemMemory,
+                                                 MemoryKind::kIoChannelMemory);
+  EXPECT_EQ(cost, Microseconds(2000));
+  EXPECT_EQ(machine.copies().cpu_copies(), 1u);
+}
+
+TEST(MachineTest, HardclockTicksAtHundredHertz) {
+  Simulation sim(1);
+  Machine machine(&sim, "m");
+  machine.StartHardclock(Microseconds(90));
+  sim.RunUntil(Seconds(1));
+  machine.StopHardclock();
+  // ~100 ticks of 90 us each (dispatch adds a bit).
+  EXPECT_GE(machine.cpu().jobs_completed(), 99u);
+  EXPECT_LE(machine.cpu().jobs_completed(), 101u);
+}
+
+}  // namespace
+}  // namespace ctms

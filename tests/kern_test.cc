@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/kern/ifqueue.h"
+#include "src/kern/mbuf.h"
+#include "src/kern/packet.h"
+#include "src/kern/process.h"
+#include "src/kern/unix_kernel.h"
+#include "src/sim/simulation.h"
+
+namespace ctms {
+namespace {
+
+TEST(MbufTest, SmallPayloadUsesSmallMbufs) {
+  int mbufs = 0;
+  int clusters = 0;
+  MbufPool::ChainShape(100, &mbufs, &clusters);
+  EXPECT_EQ(mbufs, 1);
+  EXPECT_EQ(clusters, 0);
+  MbufPool::ChainShape(200, &mbufs, &clusters);
+  EXPECT_EQ(mbufs, 2);
+  EXPECT_EQ(clusters, 0);
+}
+
+TEST(MbufTest, LargePayloadUsesClusters) {
+  int mbufs = 0;
+  int clusters = 0;
+  MbufPool::ChainShape(2000, &mbufs, &clusters);
+  EXPECT_EQ(clusters, 2);
+  EXPECT_EQ(mbufs, 2);
+}
+
+TEST(MbufTest, ZeroBytePacketStillTakesAnMbuf) {
+  int mbufs = 0;
+  int clusters = 0;
+  MbufPool::ChainShape(0, &mbufs, &clusters);
+  EXPECT_EQ(mbufs, 1);
+  EXPECT_EQ(clusters, 0);
+}
+
+TEST(MbufTest, AllocateAndRaiiRelease) {
+  MbufPool pool(16, 4);
+  {
+    std::optional<MbufChain> chain = pool.Allocate(2000);
+    ASSERT_TRUE(chain.has_value());
+    EXPECT_EQ(chain->bytes(), 2000);
+    EXPECT_EQ(pool.clusters_in_use(), 2);
+    EXPECT_EQ(pool.mbufs_in_use(), 2);
+  }
+  EXPECT_EQ(pool.clusters_in_use(), 0);
+  EXPECT_EQ(pool.mbufs_in_use(), 0);
+}
+
+TEST(MbufTest, MoveTransfersOwnership) {
+  MbufPool pool(16, 4);
+  std::optional<MbufChain> a = pool.Allocate(2000);
+  MbufChain b = std::move(*a);
+  a.reset();  // destroying the moved-from chain must not double-free
+  EXPECT_EQ(pool.clusters_in_use(), 2);
+  b.Release();
+  EXPECT_EQ(pool.clusters_in_use(), 0);
+}
+
+TEST(MbufTest, ExhaustionFails) {
+  MbufPool pool(4, 2);
+  std::optional<MbufChain> first = pool.Allocate(2000);  // takes both clusters
+  ASSERT_TRUE(first.has_value());
+  std::optional<MbufChain> second = pool.Allocate(2000);
+  EXPECT_FALSE(second.has_value());
+  EXPECT_EQ(pool.stats().failures, 1u);
+}
+
+TEST(MbufTest, WaiterServedOnFree) {
+  MbufPool pool(4, 2);
+  std::optional<MbufChain> first = pool.Allocate(2000);
+  bool served = false;
+  pool.AllocateOrWait(2000, [&](MbufChain chain) {
+    served = true;
+    EXPECT_EQ(chain.bytes(), 2000);
+  });
+  EXPECT_FALSE(served);
+  EXPECT_EQ(pool.waiter_count(), 1u);
+  first.reset();  // free -> waiter gets the memory
+  EXPECT_TRUE(served);
+  EXPECT_EQ(pool.waiter_count(), 0u);
+  EXPECT_EQ(pool.clusters_in_use(), 0);  // the waiter's chain was destroyed after delivery
+}
+
+TEST(MbufTest, WaitersAreFifoEvenWhenLaterFits) {
+  MbufPool pool(8, 4);
+  std::optional<MbufChain> hog = pool.Allocate(4000);  // all 4 clusters
+  std::vector<int> order;
+  pool.AllocateOrWait(4000, [&](MbufChain) { order.push_back(1); });
+  pool.AllocateOrWait(100, [&](MbufChain) { order.push_back(2); });
+  hog.reset();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(MbufTest, PeakTracking) {
+  MbufPool pool(16, 8);
+  std::optional<MbufChain> a = pool.Allocate(3000);
+  EXPECT_EQ(pool.stats().peak_clusters_in_use, 3);
+  a.reset();
+  std::optional<MbufChain> b = pool.Allocate(1000);
+  EXPECT_EQ(pool.stats().peak_clusters_in_use, 3);  // peak persists
+  b.reset();
+}
+
+TEST(IfQueueTest, DropsWhenFull) {
+  IfQueue queue("q", 2);
+  Packet packet;
+  EXPECT_TRUE(queue.Enqueue(packet));
+  EXPECT_TRUE(queue.Enqueue(packet));
+  EXPECT_FALSE(queue.Enqueue(packet));
+  EXPECT_EQ(queue.drops(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.peak_depth(), 2u);
+}
+
+TEST(IfQueueTest, FifoAndRequeue) {
+  IfQueue queue("q", 10);
+  for (uint32_t i = 1; i <= 3; ++i) {
+    Packet packet;
+    packet.seq = i;
+    queue.Enqueue(packet);
+  }
+  std::optional<Packet> first = queue.Dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 1u);
+  queue.Requeue(*first);  // driver retry path: goes back to the head
+  EXPECT_EQ(queue.Dequeue()->seq, 1u);
+  EXPECT_EQ(queue.Dequeue()->seq, 2u);
+  EXPECT_EQ(queue.Dequeue()->seq, 3u);
+  EXPECT_FALSE(queue.Dequeue().has_value());
+}
+
+class KernelFixture : public ::testing::Test {
+ protected:
+  KernelFixture() : sim_(1), machine_(&sim_, "m"), kernel_(&machine_) {
+    machine_.cpu().set_dispatch_base(0);
+    machine_.cpu().set_dispatch_jitter(0);
+  }
+  Simulation sim_;
+  Machine machine_;
+  UnixKernel kernel_;
+};
+
+TEST_F(KernelFixture, CopyStepsTotalIsExact) {
+  // 2000 bytes at 1 us/byte must total exactly 2000 us across chunked steps.
+  std::vector<Cpu::Step> steps = kernel_.CopySteps(2000, MemoryKind::kSystemMemory,
+                                                   MemoryKind::kIoChannelMemory, Spl::kImp);
+  SimDuration total = 0;
+  for (const auto& step : steps) {
+    total += step.duration;
+  }
+  EXPECT_EQ(total, Microseconds(2000));
+  EXPECT_EQ(steps.size(), 4u);  // 512-byte chunks
+  EXPECT_EQ(machine_.copies().cpu_copies(), 1u);
+}
+
+TEST_F(KernelFixture, CopyStepsOnDoneRunsOnce) {
+  int done = 0;
+  std::vector<Cpu::Step> steps = kernel_.CopySteps(
+      1000, MemoryKind::kSystemMemory, MemoryKind::kSystemMemory, Spl::kNet, [&]() { ++done; });
+  Cpu::Job job;
+  job.name = "copy";
+  job.level = Spl::kNet;
+  job.steps = std::move(steps);
+  machine_.cpu().SubmitInterrupt(std::move(job));
+  sim_.RunAll();
+  EXPECT_EQ(done, 1);
+}
+
+TEST_F(KernelFixture, ZeroByteCopyStillRunsOnDone) {
+  bool done = false;
+  std::vector<Cpu::Step> steps = kernel_.CopySteps(0, MemoryKind::kSystemMemory,
+                                                   MemoryKind::kSystemMemory, Spl::kNone,
+                                                   [&]() { done = true; });
+  Cpu::Job job;
+  job.name = "copy0";
+  job.steps = std::move(steps);
+  machine_.cpu().SubmitProcess(std::move(job));
+  sim_.RunAll();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(KernelFixture, RelayForwardsAfterSyscallsAndCopies) {
+  std::vector<SimTime> forwarded_at;
+  RelayProcess relay(&kernel_, "relay", RelayProcess::Config{},
+                     [&](const Packet&) { forwarded_at.push_back(sim_.Now()); });
+  Packet packet;
+  packet.bytes = 2000;
+  relay.Deliver(packet);
+  sim_.RunAll();
+  ASSERT_EQ(forwarded_at.size(), 1u);
+  // ctx switch 400 + 2 syscalls (150 each) + 2 copies of 2000B at 0.9us/B (1800 each).
+  EXPECT_EQ(forwarded_at[0], Microseconds(400 + 150 + 1800 + 150 + 1800));
+  EXPECT_EQ(relay.forwarded(), 1u);
+}
+
+TEST_F(KernelFixture, RelayBatchesQueuedPacketsWithoutReWakeup) {
+  int forwarded = 0;
+  RelayProcess relay(&kernel_, "relay", RelayProcess::Config{},
+                     [&](const Packet&) { ++forwarded; });
+  Packet packet;
+  packet.bytes = 100;
+  relay.Deliver(packet);
+  relay.Deliver(packet);
+  relay.Deliver(packet);
+  sim_.RunAll();
+  EXPECT_EQ(forwarded, 3);
+  EXPECT_EQ(relay.delivered(), 3u);
+}
+
+TEST_F(KernelFixture, RelayDropsWhenReceiveBufferFull) {
+  RelayProcess::Config config;
+  config.rcv_buffer_bytes = 4000;
+  int forwarded = 0;
+  RelayProcess relay(&kernel_, "relay", config, [&](const Packet&) { ++forwarded; });
+  Packet packet;
+  packet.bytes = 2000;
+  // Deliver 4 packets back-to-back with no CPU time in between: 2 fit, 2 drop.
+  // (Deliver itself starts the relay, which dequeues the first packet immediately, so the
+  // third enqueue still fits; the fourth does not.)
+  relay.Deliver(packet);
+  relay.Deliver(packet);
+  relay.Deliver(packet);
+  relay.Deliver(packet);
+  EXPECT_GT(relay.dropped_rcvbuf(), 0u);
+  sim_.RunAll();
+  EXPECT_EQ(forwarded + static_cast<int>(relay.dropped_rcvbuf()), 4);
+}
+
+TEST_F(KernelFixture, CompetingProcessBurnsCpuPeriodically) {
+  CompetingProcess::Config config;
+  config.period = Milliseconds(40);
+  config.burst = Milliseconds(6);
+  CompetingProcess competitor(&kernel_, "burn", config);
+  competitor.Start();
+  sim_.RunUntil(Seconds(1));
+  competitor.Stop();
+  // ~15% CPU.
+  EXPECT_NEAR(machine_.cpu().Utilization(), 0.15, 0.02);
+}
+
+}  // namespace
+}  // namespace ctms

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+#include "src/sim/trace_log.h"
+
+namespace ctms {
+namespace {
+
+TEST(TimeTest, UnitArithmetic) {
+  EXPECT_EQ(Microseconds(1), 1000 * kNanosecond);
+  EXPECT_EQ(Milliseconds(12), 12000 * kMicrosecond);
+  EXPECT_EQ(Seconds(1), 1000 * kMillisecond);
+  EXPECT_EQ(Hours(2), 120 * kMinute);
+  EXPECT_EQ(ToMicroseconds(Microseconds(2600)), 2600);
+  EXPECT_EQ(ToMilliseconds(Milliseconds(130)), 130);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(Nanoseconds(500)), "500 ns");
+  EXPECT_EQ(FormatDuration(Microseconds(122)), "122 us");
+  EXPECT_EQ(FormatDuration(Milliseconds(12)), "12 ms");
+  EXPECT_EQ(FormatDuration(Seconds(30)), "30 s");
+  EXPECT_EQ(FormatDuration(-Microseconds(5)), "-5 us");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(0, 9))];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, NormalDurationRespectsFloor) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE(rng.NormalDuration(0, Microseconds(100), 0), 0);
+  }
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(23);
+  (void)parent_copy.NextU64();  // advance past the fork draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == parent_copy.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(300, [&]() { order.push_back(3); });
+  queue.Schedule(100, [&]() { order.push_back(1); });
+  queue.Schedule(200, [&]() { order.push_back(2); });
+  while (!queue.empty()) {
+    SimTime when = 0;
+    queue.PopNext(&when)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAtSameTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(50, [&order, i]() { order.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.PopNext(nullptr)();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.Schedule(10, [&]() { ran = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));  // double-cancel reports failure
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId early = queue.Schedule(10, []() {});
+  queue.Schedule(20, []() {});
+  queue.Cancel(early);
+  EXPECT_EQ(queue.NextTime(), 20);
+}
+
+TEST(SimulationTest, ClockAdvancesWithEvents) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.After(Microseconds(50), [&]() { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, Microseconds(50));
+  EXPECT_EQ(sim.Now(), Microseconds(50));
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  int ran = 0;
+  sim.After(Microseconds(10), [&]() { ++ran; });
+  sim.After(Microseconds(99), [&]() { ++ran; });
+  sim.After(Microseconds(101), [&]() { ++ran; });
+  const uint64_t count = sim.RunUntil(Microseconds(100));
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now(), Microseconds(100));
+  EXPECT_TRUE(sim.has_pending_events());
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      sim.After(Microseconds(1), recurse);
+    }
+  };
+  sim.After(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), Microseconds(4));
+}
+
+TEST(SimulationTest, StopHaltsRun) {
+  Simulation sim;
+  int ran = 0;
+  sim.After(1, [&]() {
+    ++ran;
+    sim.Stop();
+  });
+  sim.After(2, [&]() { ++ran; });
+  sim.RunAll();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.has_pending_events());
+}
+
+TEST(SimulationTest, PeriodicFiresAndCancels) {
+  Simulation sim;
+  int fired = 0;
+  auto cancel = SchedulePeriodic(&sim, Milliseconds(1), Milliseconds(2), [&]() { ++fired; });
+  sim.RunUntil(Milliseconds(10));  // fires at 1,3,5,7,9
+  EXPECT_EQ(fired, 5);
+  cancel();
+  sim.RunUntil(Milliseconds(20));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulationTest, PeriodicCancelFromInsideAction) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> cancel;
+  cancel = SchedulePeriodic(&sim, Milliseconds(1), Milliseconds(1), [&]() {
+    if (++fired == 3) {
+      cancel();  // self-cancel mid-callback must stick
+    }
+  });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(TraceLogTest, DisabledByDefault) {
+  TraceLog log;
+  log.Append(1, "a", "b");
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TraceLogTest, RecordsAndFilters) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.Append(1, "tx", "one");
+  log.Append(2, "rx", "two");
+  log.Append(3, "tx", "three");
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.WithCategory("tx").size(), 2u);
+  EXPECT_NE(log.Dump().find("two"), std::string::npos);
+}
+
+TEST(TraceLogTest, CapacityEviction) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(10);
+  for (int i = 0; i < 25; ++i) {
+    log.Append(i, "c", "m");
+  }
+  EXPECT_LE(log.records().size(), 10u);
+  EXPECT_GT(log.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace ctms

@@ -1,0 +1,265 @@
+// ctms_sim — command-line front end to the CTMS reproduction.
+//
+// Run any scenario from the paper's measurement matrix without writing code:
+//
+//   ctms_sim --scenario=A --duration=60
+//   ctms_sim --scenario=B --duration=120 --histogram=6 --bin-us=500
+//   ctms_sim --scenario=B --zero-copy --method=truth
+//   ctms_sim --baseline --packet-bytes=2000 --tcp
+//   ctms_sim --scenario=B --csv-prefix=/tmp/run1 --duration=300
+//
+// Prints the experiment summary, optionally an ASCII histogram, and optionally exports all
+// seven paper histograms as CSV.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/core/ctms.h"
+#include "src/measure/export.h"
+
+namespace {
+
+using namespace ctms;
+
+struct Options {
+  std::string scenario = "A";
+  bool baseline = false;
+  bool tcp = false;
+  int64_t duration_s = 30;
+  uint64_t seed = 1;
+  int64_t packet_bytes = 2000;
+  int64_t period_ms = 12;
+  std::string memory = "iocm";
+  std::string method = "pcat";
+  bool driver_priority = true;
+  int ring_priority = 6;
+  bool zero_copy = false;
+  bool retransmit = false;
+  int64_t insertion_mean_min = 0;
+  int histogram = 0;  // 0 = none, 1..7 = paper histogram number
+  int64_t bin_us = 500;
+  std::string csv_prefix;
+  std::string trace_path;
+  bool ground_truth_output = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "ctms_sim — reproduce the USENIX'91 CTMS experiments\n\n"
+      "scenario selection:\n"
+      "  --scenario=A|B        Test Case A (private quiet ring) or B (loaded public ring)\n"
+      "  --baseline            run the stock UNIX relay path instead of CTMS\n"
+      "  --tcp                 baseline uses TCP-lite instead of UDP\n\n"
+      "stream and environment:\n"
+      "  --duration=SECONDS    simulated run length (default 30)\n"
+      "  --seed=N              simulation seed (default 1)\n"
+      "  --packet-bytes=N      payload per device interrupt (default 2000)\n"
+      "  --period-ms=N         device interrupt period (default 12)\n"
+      "  --memory=iocm|system  fixed DMA buffer placement\n"
+      "  --no-driver-priority  CTMSP shares if_snd with ARP/IP\n"
+      "  --ring-priority=N     Token Ring access priority, 0=off (default 6)\n"
+      "  --zero-copy           pointer-passing transmit (the section-2 extension)\n"
+      "  --retransmit          MAC-receive purge recovery\n"
+      "  --insertions=MINUTES  mean minutes between station insertions (0=off)\n"
+      "  --trace=FILE          replay a background-traffic CSV (offset_us,bytes) on loop\n\n"
+      "measurement and output:\n"
+      "  --method=pcat|rtpc|logic|truth   instrument (default pcat)\n"
+      "  --histogram=1..7      render a paper histogram as ASCII\n"
+      "  --bin-us=N            histogram bin width (default 500)\n"
+      "  --ground-truth        render histograms from the perfect observer\n"
+      "  --csv-prefix=PATH     export all seven histograms as PATH_histN.csv\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else if (arg == "--baseline") {
+      options->baseline = true;
+    } else if (arg == "--tcp") {
+      options->tcp = true;
+    } else if (arg == "--no-driver-priority") {
+      options->driver_priority = false;
+    } else if (arg == "--zero-copy") {
+      options->zero_copy = true;
+    } else if (arg == "--retransmit") {
+      options->retransmit = true;
+    } else if (arg == "--ground-truth") {
+      options->ground_truth_output = true;
+    } else if (ParseFlag(arg, "scenario", &value)) {
+      options->scenario = value;
+    } else if (ParseFlag(arg, "duration", &value)) {
+      options->duration_s = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "packet-bytes", &value)) {
+      options->packet_bytes = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "period-ms", &value)) {
+      options->period_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "memory", &value)) {
+      options->memory = value;
+    } else if (ParseFlag(arg, "method", &value)) {
+      options->method = value;
+    } else if (ParseFlag(arg, "ring-priority", &value)) {
+      options->ring_priority = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "insertions", &value)) {
+      options->insertion_mean_min = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "histogram", &value)) {
+      options->histogram = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "bin-us", &value)) {
+      options->bin_us = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "csv-prefix", &value)) {
+      options->csv_prefix = value;
+    } else if (ParseFlag(arg, "trace", &value)) {
+      options->trace_path = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->duration_s <= 0 || options->packet_bytes <= 0 || options->period_ms <= 0 ||
+      options->histogram < 0 || options->histogram > 7) {
+    std::fprintf(stderr, "invalid option values (try --help)\n");
+    return false;
+  }
+  return true;
+}
+
+const Histogram* SelectHistogram(const PaperHistograms& histograms, int number) {
+  switch (number) {
+    case 1:
+      return &histograms.inter_irq;
+    case 2:
+      return &histograms.inter_handler;
+    case 3:
+      return &histograms.inter_pre_tx;
+    case 4:
+      return &histograms.inter_rx;
+    case 5:
+      return &histograms.irq_to_handler;
+    case 6:
+      return &histograms.handler_to_pre_tx;
+    case 7:
+      return &histograms.pre_tx_to_rx;
+    default:
+      return nullptr;
+  }
+}
+
+int RunBaseline(const Options& options) {
+  BaselineConfig config;
+  config.packet_bytes = options.packet_bytes;
+  config.packet_period = Milliseconds(options.period_ms);
+  config.use_tcp = options.tcp;
+  config.duration = Seconds(options.duration_s);
+  config.seed = options.seed;
+  config.dma_buffer_kind = options.memory == "system" ? MemoryKind::kSystemMemory
+                                                      : MemoryKind::kIoChannelMemory;
+  BaselineExperiment experiment(config);
+  const BaselineReport report = experiment.Run();
+  std::cout << report.Summary();
+  if (!options.csv_prefix.empty()) {
+    WriteSamplesCsv(report.end_to_end_latency, options.csv_prefix + "_latency.csv");
+    std::printf("wrote %s_latency.csv\n", options.csv_prefix.c_str());
+  }
+  return report.Sustained() ? 0 : 2;
+}
+
+int RunCtms(const Options& options) {
+  ScenarioConfig config = options.scenario == "B" ? TestCaseB() : TestCaseA();
+  config.duration = Seconds(options.duration_s);
+  config.seed = options.seed;
+  config.packet_bytes = options.packet_bytes;
+  config.packet_period = Milliseconds(options.period_ms);
+  config.dma_buffer_kind = options.memory == "system" ? MemoryKind::kSystemMemory
+                                                      : MemoryKind::kIoChannelMemory;
+  config.driver_priority = options.driver_priority;
+  config.ring_priority = options.ring_priority;
+  config.tx_zero_copy = options.zero_copy;
+  config.retransmit_on_purge = options.retransmit;
+  config.insertion_mean = Minutes(options.insertion_mean_min);
+  if (options.method == "rtpc") {
+    config.method = MeasurementMethod::kRtPcPseudoDevice;
+  } else if (options.method == "logic") {
+    config.method = MeasurementMethod::kLogicAnalyzer;
+  } else if (options.method == "truth") {
+    config.method = MeasurementMethod::kGroundTruth;
+  } else {
+    config.method = MeasurementMethod::kPcAt;
+  }
+
+  CtmsExperiment experiment(config);
+  std::unique_ptr<TraceReplayTraffic> trace;
+  if (!options.trace_path.empty()) {
+    int error_line = 0;
+    auto entries = TraceReplayTraffic::LoadCsv(options.trace_path, &error_line);
+    if (!entries.has_value()) {
+      std::fprintf(stderr, "bad trace file %s (line %d)\n", options.trace_path.c_str(),
+                   error_line);
+      return 1;
+    }
+    trace = std::make_unique<TraceReplayTraffic>(&experiment.ring(), std::move(*entries));
+    SimDuration span = 0;
+    for (const TraceEntry& entry : trace->trace()) {
+      span = std::max(span, entry.offset);
+    }
+    trace->Start(/*loop=*/true, span + Milliseconds(50));
+  }
+  const ExperimentReport report = experiment.Run();
+  std::cout << report.Summary();
+  if (trace != nullptr) {
+    std::printf("replayed %llu background frames from %s\n",
+                static_cast<unsigned long long>(trace->frames_sent()),
+                options.trace_path.c_str());
+  }
+
+  const PaperHistograms& source =
+      options.ground_truth_output ? report.ground_truth : report.measured;
+  if (options.histogram != 0) {
+    const Histogram* histogram = SelectHistogram(source, options.histogram);
+    std::cout << "\n" << histogram->SummaryLine() << "\n";
+    std::cout << histogram->RenderAscii(Microseconds(options.bin_us));
+  }
+  if (!options.csv_prefix.empty()) {
+    const int written = WritePaperHistogramsCsv(source, options.csv_prefix);
+    std::printf("wrote %d CSV files with prefix %s\n", written, options.csv_prefix.c_str());
+  }
+  const bool healthy = report.packets_lost == 0 && report.sink_underruns == 0;
+  return healthy ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      return 0;
+    }
+  }
+  Options options;
+  if (!ParseOptions(argc, argv, &options)) {
+    return 1;
+  }
+  if (options.baseline) {
+    return RunBaseline(options);
+  }
+  return RunCtms(options);
+}
