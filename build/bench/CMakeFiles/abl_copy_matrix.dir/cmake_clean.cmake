@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_copy_matrix.dir/abl_copy_matrix.cc.o"
+  "CMakeFiles/abl_copy_matrix.dir/abl_copy_matrix.cc.o.d"
+  "abl_copy_matrix"
+  "abl_copy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_copy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_ring_speed.cc" "bench/CMakeFiles/abl_ring_speed.dir/abl_ring_speed.cc.o" "gcc" "bench/CMakeFiles/abl_ring_speed.dir/abl_ring_speed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ctms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/ctms_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ctms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ctms_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ctms_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/ctms_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

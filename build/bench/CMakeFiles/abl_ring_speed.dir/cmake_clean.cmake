@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ring_speed.dir/abl_ring_speed.cc.o"
+  "CMakeFiles/abl_ring_speed.dir/abl_ring_speed.cc.o.d"
+  "abl_ring_speed"
+  "abl_ring_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ring_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_transfer_models.dir/abl_transfer_models.cc.o"
+  "CMakeFiles/abl_transfer_models.dir/abl_transfer_models.cc.o.d"
+  "abl_transfer_models"
+  "abl_transfer_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transfer_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_buffer.dir/ext_adaptive_buffer.cc.o"
+  "CMakeFiles/ext_adaptive_buffer.dir/ext_adaptive_buffer.cc.o.d"
+  "ext_adaptive_buffer"
+  "ext_adaptive_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_file_server.dir/ext_file_server.cc.o"
+  "CMakeFiles/ext_file_server.dir/ext_file_server.cc.o.d"
+  "ext_file_server"
+  "ext_file_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_file_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

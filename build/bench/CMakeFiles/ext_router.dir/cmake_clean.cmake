@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_router.dir/ext_router.cc.o"
+  "CMakeFiles/ext_router.dir/ext_router.cc.o.d"
+  "ext_router"
+  "ext_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stream_capacity.dir/ext_stream_capacity.cc.o"
+  "CMakeFiles/ext_stream_capacity.dir/ext_stream_capacity.cc.o.d"
+  "ext_stream_capacity"
+  "ext_stream_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stream_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

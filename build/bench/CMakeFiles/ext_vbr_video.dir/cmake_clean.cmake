@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vbr_video.dir/ext_vbr_video.cc.o"
+  "CMakeFiles/ext_vbr_video.dir/ext_vbr_video.cc.o.d"
+  "ext_vbr_video"
+  "ext_vbr_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vbr_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_handler_to_transmit.dir/fig5_2_handler_to_transmit.cc.o"
+  "CMakeFiles/fig5_2_handler_to_transmit.dir/fig5_2_handler_to_transmit.cc.o.d"
+  "fig5_2_handler_to_transmit"
+  "fig5_2_handler_to_transmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_handler_to_transmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

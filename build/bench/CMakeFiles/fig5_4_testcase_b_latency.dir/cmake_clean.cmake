@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_testcase_b_latency.dir/fig5_4_testcase_b_latency.cc.o"
+  "CMakeFiles/fig5_4_testcase_b_latency.dir/fig5_4_testcase_b_latency.cc.o.d"
+  "fig5_4_testcase_b_latency"
+  "fig5_4_testcase_b_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_testcase_b_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

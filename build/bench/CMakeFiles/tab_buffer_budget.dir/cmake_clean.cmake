@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_buffer_budget.dir/tab_buffer_budget.cc.o"
+  "CMakeFiles/tab_buffer_budget.dir/tab_buffer_budget.cc.o.d"
+  "tab_buffer_budget"
+  "tab_buffer_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_buffer_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_copy_counts.dir/tab_copy_counts.cc.o"
+  "CMakeFiles/tab_copy_counts.dir/tab_copy_counts.cc.o.d"
+  "tab_copy_counts"
+  "tab_copy_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_copy_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

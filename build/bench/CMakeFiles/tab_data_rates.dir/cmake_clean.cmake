@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_data_rates.dir/tab_data_rates.cc.o"
+  "CMakeFiles/tab_data_rates.dir/tab_data_rates.cc.o.d"
+  "tab_data_rates"
+  "tab_data_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_data_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

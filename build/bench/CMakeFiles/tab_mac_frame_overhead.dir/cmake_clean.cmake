@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mac_frame_overhead.dir/tab_mac_frame_overhead.cc.o"
+  "CMakeFiles/tab_mac_frame_overhead.dir/tab_mac_frame_overhead.cc.o.d"
+  "tab_mac_frame_overhead"
+  "tab_mac_frame_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mac_frame_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

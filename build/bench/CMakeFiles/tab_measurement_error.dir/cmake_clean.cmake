@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_measurement_error.dir/tab_measurement_error.cc.o"
+  "CMakeFiles/tab_measurement_error.dir/tab_measurement_error.cc.o.d"
+  "tab_measurement_error"
+  "tab_measurement_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_measurement_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

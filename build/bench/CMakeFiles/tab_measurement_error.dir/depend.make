@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_measurement_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ring_purge.dir/tab_ring_purge.cc.o"
+  "CMakeFiles/tab_ring_purge.dir/tab_ring_purge.cc.o.d"
+  "tab_ring_purge"
+  "tab_ring_purge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ring_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

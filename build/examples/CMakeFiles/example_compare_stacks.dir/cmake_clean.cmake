@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_stacks.dir/compare_stacks.cpp.o"
+  "CMakeFiles/example_compare_stacks.dir/compare_stacks.cpp.o.d"
+  "example_compare_stacks"
+  "example_compare_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

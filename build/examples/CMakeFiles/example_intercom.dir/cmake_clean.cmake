@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_intercom.dir/intercom.cpp.o"
+  "CMakeFiles/example_intercom.dir/intercom.cpp.o.d"
+  "example_intercom"
+  "example_intercom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_intercom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

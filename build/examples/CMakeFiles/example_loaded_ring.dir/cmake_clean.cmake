@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loaded_ring.dir/loaded_ring.cpp.o"
+  "CMakeFiles/example_loaded_ring.dir/loaded_ring.cpp.o.d"
+  "example_loaded_ring"
+  "example_loaded_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loaded_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

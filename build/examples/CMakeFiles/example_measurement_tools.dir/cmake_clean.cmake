@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_measurement_tools.dir/measurement_tools.cpp.o"
+  "CMakeFiles/example_measurement_tools.dir/measurement_tools.cpp.o.d"
+  "example_measurement_tools"
+  "example_measurement_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_measurement_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ring_purge_recovery.dir/ring_purge_recovery.cpp.o"
+  "CMakeFiles/example_ring_purge_recovery.dir/ring_purge_recovery.cpp.o.d"
+  "example_ring_purge_recovery"
+  "example_ring_purge_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ring_purge_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_session_setup.dir/session_setup.cpp.o"
+  "CMakeFiles/example_session_setup.dir/session_setup.cpp.o.d"
+  "example_session_setup"
+  "example_session_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_session_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

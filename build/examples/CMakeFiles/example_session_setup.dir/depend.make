@@ -1,0 +1,2 @@
+# Empty dependencies file for example_session_setup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/ctms_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/buffer_budget.cc" "src/core/CMakeFiles/ctms_core.dir/buffer_budget.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/buffer_budget.cc.o.d"
+  "/root/repo/src/core/copy_analysis.cc" "src/core/CMakeFiles/ctms_core.dir/copy_analysis.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/copy_analysis.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/ctms_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/multi_stream.cc" "src/core/CMakeFiles/ctms_core.dir/multi_stream.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/multi_stream.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/ctms_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/router.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/ctms_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/scenario.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/ctms_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/ctms_core.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dev/CMakeFiles/ctms_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ctms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ctms_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ctms_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/ctms_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

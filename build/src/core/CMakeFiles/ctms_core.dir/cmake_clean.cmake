@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_core.dir/baseline.cc.o"
+  "CMakeFiles/ctms_core.dir/baseline.cc.o.d"
+  "CMakeFiles/ctms_core.dir/buffer_budget.cc.o"
+  "CMakeFiles/ctms_core.dir/buffer_budget.cc.o.d"
+  "CMakeFiles/ctms_core.dir/copy_analysis.cc.o"
+  "CMakeFiles/ctms_core.dir/copy_analysis.cc.o.d"
+  "CMakeFiles/ctms_core.dir/experiment.cc.o"
+  "CMakeFiles/ctms_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ctms_core.dir/multi_stream.cc.o"
+  "CMakeFiles/ctms_core.dir/multi_stream.cc.o.d"
+  "CMakeFiles/ctms_core.dir/router.cc.o"
+  "CMakeFiles/ctms_core.dir/router.cc.o.d"
+  "CMakeFiles/ctms_core.dir/scenario.cc.o"
+  "CMakeFiles/ctms_core.dir/scenario.cc.o.d"
+  "CMakeFiles/ctms_core.dir/server.cc.o"
+  "CMakeFiles/ctms_core.dir/server.cc.o.d"
+  "libctms_core.a"
+  "libctms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctms_core.a"
+)

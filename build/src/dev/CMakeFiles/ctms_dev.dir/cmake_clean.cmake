@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_dev.dir/disk.cc.o"
+  "CMakeFiles/ctms_dev.dir/disk.cc.o.d"
+  "CMakeFiles/ctms_dev.dir/media_server.cc.o"
+  "CMakeFiles/ctms_dev.dir/media_server.cc.o.d"
+  "CMakeFiles/ctms_dev.dir/tr_driver.cc.o"
+  "CMakeFiles/ctms_dev.dir/tr_driver.cc.o.d"
+  "CMakeFiles/ctms_dev.dir/vca.cc.o"
+  "CMakeFiles/ctms_dev.dir/vca.cc.o.d"
+  "libctms_dev.a"
+  "libctms_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_hw.dir/cpu.cc.o"
+  "CMakeFiles/ctms_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/ctms_hw.dir/dma.cc.o"
+  "CMakeFiles/ctms_hw.dir/dma.cc.o.d"
+  "CMakeFiles/ctms_hw.dir/machine.cc.o"
+  "CMakeFiles/ctms_hw.dir/machine.cc.o.d"
+  "CMakeFiles/ctms_hw.dir/memory.cc.o"
+  "CMakeFiles/ctms_hw.dir/memory.cc.o.d"
+  "libctms_hw.a"
+  "libctms_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/ifqueue.cc" "src/kern/CMakeFiles/ctms_kern.dir/ifqueue.cc.o" "gcc" "src/kern/CMakeFiles/ctms_kern.dir/ifqueue.cc.o.d"
+  "/root/repo/src/kern/mbuf.cc" "src/kern/CMakeFiles/ctms_kern.dir/mbuf.cc.o" "gcc" "src/kern/CMakeFiles/ctms_kern.dir/mbuf.cc.o.d"
+  "/root/repo/src/kern/process.cc" "src/kern/CMakeFiles/ctms_kern.dir/process.cc.o" "gcc" "src/kern/CMakeFiles/ctms_kern.dir/process.cc.o.d"
+  "/root/repo/src/kern/unix_kernel.cc" "src/kern/CMakeFiles/ctms_kern.dir/unix_kernel.cc.o" "gcc" "src/kern/CMakeFiles/ctms_kern.dir/unix_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

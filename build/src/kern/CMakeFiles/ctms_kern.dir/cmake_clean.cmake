@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_kern.dir/ifqueue.cc.o"
+  "CMakeFiles/ctms_kern.dir/ifqueue.cc.o.d"
+  "CMakeFiles/ctms_kern.dir/mbuf.cc.o"
+  "CMakeFiles/ctms_kern.dir/mbuf.cc.o.d"
+  "CMakeFiles/ctms_kern.dir/process.cc.o"
+  "CMakeFiles/ctms_kern.dir/process.cc.o.d"
+  "CMakeFiles/ctms_kern.dir/unix_kernel.cc.o"
+  "CMakeFiles/ctms_kern.dir/unix_kernel.cc.o.d"
+  "libctms_kern.a"
+  "libctms_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/export.cc" "src/measure/CMakeFiles/ctms_measure.dir/export.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/export.cc.o.d"
+  "/root/repo/src/measure/histogram.cc" "src/measure/CMakeFiles/ctms_measure.dir/histogram.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/histogram.cc.o.d"
+  "/root/repo/src/measure/interval_analyzer.cc" "src/measure/CMakeFiles/ctms_measure.dir/interval_analyzer.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/interval_analyzer.cc.o.d"
+  "/root/repo/src/measure/live_analyzer.cc" "src/measure/CMakeFiles/ctms_measure.dir/live_analyzer.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/live_analyzer.cc.o.d"
+  "/root/repo/src/measure/recorders.cc" "src/measure/CMakeFiles/ctms_measure.dir/recorders.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/recorders.cc.o.d"
+  "/root/repo/src/measure/stats.cc" "src/measure/CMakeFiles/ctms_measure.dir/stats.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/stats.cc.o.d"
+  "/root/repo/src/measure/tap.cc" "src/measure/CMakeFiles/ctms_measure.dir/tap.cc.o" "gcc" "src/measure/CMakeFiles/ctms_measure.dir/tap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

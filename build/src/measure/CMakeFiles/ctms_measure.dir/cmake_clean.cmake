@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_measure.dir/export.cc.o"
+  "CMakeFiles/ctms_measure.dir/export.cc.o.d"
+  "CMakeFiles/ctms_measure.dir/histogram.cc.o"
+  "CMakeFiles/ctms_measure.dir/histogram.cc.o.d"
+  "CMakeFiles/ctms_measure.dir/interval_analyzer.cc.o"
+  "CMakeFiles/ctms_measure.dir/interval_analyzer.cc.o.d"
+  "CMakeFiles/ctms_measure.dir/live_analyzer.cc.o"
+  "CMakeFiles/ctms_measure.dir/live_analyzer.cc.o.d"
+  "CMakeFiles/ctms_measure.dir/recorders.cc.o"
+  "CMakeFiles/ctms_measure.dir/recorders.cc.o.d"
+  "CMakeFiles/ctms_measure.dir/stats.cc.o"
+  "CMakeFiles/ctms_measure.dir/stats.cc.o.d"
+  "CMakeFiles/ctms_measure.dir/tap.cc.o"
+  "CMakeFiles/ctms_measure.dir/tap.cc.o.d"
+  "libctms_measure.a"
+  "libctms_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/arp.cc" "src/proto/CMakeFiles/ctms_proto.dir/arp.cc.o" "gcc" "src/proto/CMakeFiles/ctms_proto.dir/arp.cc.o.d"
+  "/root/repo/src/proto/ctmsp.cc" "src/proto/CMakeFiles/ctms_proto.dir/ctmsp.cc.o" "gcc" "src/proto/CMakeFiles/ctms_proto.dir/ctmsp.cc.o.d"
+  "/root/repo/src/proto/ctmsp2.cc" "src/proto/CMakeFiles/ctms_proto.dir/ctmsp2.cc.o" "gcc" "src/proto/CMakeFiles/ctms_proto.dir/ctmsp2.cc.o.d"
+  "/root/repo/src/proto/ip.cc" "src/proto/CMakeFiles/ctms_proto.dir/ip.cc.o" "gcc" "src/proto/CMakeFiles/ctms_proto.dir/ip.cc.o.d"
+  "/root/repo/src/proto/tcp_lite.cc" "src/proto/CMakeFiles/ctms_proto.dir/tcp_lite.cc.o" "gcc" "src/proto/CMakeFiles/ctms_proto.dir/tcp_lite.cc.o.d"
+  "/root/repo/src/proto/udp.cc" "src/proto/CMakeFiles/ctms_proto.dir/udp.cc.o" "gcc" "src/proto/CMakeFiles/ctms_proto.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/ctms_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_proto.dir/arp.cc.o"
+  "CMakeFiles/ctms_proto.dir/arp.cc.o.d"
+  "CMakeFiles/ctms_proto.dir/ctmsp.cc.o"
+  "CMakeFiles/ctms_proto.dir/ctmsp.cc.o.d"
+  "CMakeFiles/ctms_proto.dir/ctmsp2.cc.o"
+  "CMakeFiles/ctms_proto.dir/ctmsp2.cc.o.d"
+  "CMakeFiles/ctms_proto.dir/ip.cc.o"
+  "CMakeFiles/ctms_proto.dir/ip.cc.o.d"
+  "CMakeFiles/ctms_proto.dir/tcp_lite.cc.o"
+  "CMakeFiles/ctms_proto.dir/tcp_lite.cc.o.d"
+  "CMakeFiles/ctms_proto.dir/udp.cc.o"
+  "CMakeFiles/ctms_proto.dir/udp.cc.o.d"
+  "libctms_proto.a"
+  "libctms_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/adapter.cc" "src/ring/CMakeFiles/ctms_ring.dir/adapter.cc.o" "gcc" "src/ring/CMakeFiles/ctms_ring.dir/adapter.cc.o.d"
+  "/root/repo/src/ring/frame.cc" "src/ring/CMakeFiles/ctms_ring.dir/frame.cc.o" "gcc" "src/ring/CMakeFiles/ctms_ring.dir/frame.cc.o.d"
+  "/root/repo/src/ring/token_ring.cc" "src/ring/CMakeFiles/ctms_ring.dir/token_ring.cc.o" "gcc" "src/ring/CMakeFiles/ctms_ring.dir/token_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_ring.dir/adapter.cc.o"
+  "CMakeFiles/ctms_ring.dir/adapter.cc.o.d"
+  "CMakeFiles/ctms_ring.dir/frame.cc.o"
+  "CMakeFiles/ctms_ring.dir/frame.cc.o.d"
+  "CMakeFiles/ctms_ring.dir/token_ring.cc.o"
+  "CMakeFiles/ctms_ring.dir/token_ring.cc.o.d"
+  "libctms_ring.a"
+  "libctms_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ctms_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ctms_sim.dir/rng.cc.o"
+  "CMakeFiles/ctms_sim.dir/rng.cc.o.d"
+  "CMakeFiles/ctms_sim.dir/simulation.cc.o"
+  "CMakeFiles/ctms_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/ctms_sim.dir/time.cc.o"
+  "CMakeFiles/ctms_sim.dir/time.cc.o.d"
+  "CMakeFiles/ctms_sim.dir/trace_log.cc.o"
+  "CMakeFiles/ctms_sim.dir/trace_log.cc.o.d"
+  "libctms_sim.a"
+  "libctms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/host_service.cc" "src/workload/CMakeFiles/ctms_workload.dir/host_service.cc.o" "gcc" "src/workload/CMakeFiles/ctms_workload.dir/host_service.cc.o.d"
+  "/root/repo/src/workload/kernel_activity.cc" "src/workload/CMakeFiles/ctms_workload.dir/kernel_activity.cc.o" "gcc" "src/workload/CMakeFiles/ctms_workload.dir/kernel_activity.cc.o.d"
+  "/root/repo/src/workload/ring_traffic.cc" "src/workload/CMakeFiles/ctms_workload.dir/ring_traffic.cc.o" "gcc" "src/workload/CMakeFiles/ctms_workload.dir/ring_traffic.cc.o.d"
+  "/root/repo/src/workload/trace_replay.cc" "src/workload/CMakeFiles/ctms_workload.dir/trace_replay.cc.o" "gcc" "src/workload/CMakeFiles/ctms_workload.dir/trace_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/ctms_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/ctms_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_workload.dir/host_service.cc.o"
+  "CMakeFiles/ctms_workload.dir/host_service.cc.o.d"
+  "CMakeFiles/ctms_workload.dir/kernel_activity.cc.o"
+  "CMakeFiles/ctms_workload.dir/kernel_activity.cc.o.d"
+  "CMakeFiles/ctms_workload.dir/ring_traffic.cc.o"
+  "CMakeFiles/ctms_workload.dir/ring_traffic.cc.o.d"
+  "CMakeFiles/ctms_workload.dir/trace_replay.cc.o"
+  "CMakeFiles/ctms_workload.dir/trace_replay.cc.o.d"
+  "libctms_workload.a"
+  "libctms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

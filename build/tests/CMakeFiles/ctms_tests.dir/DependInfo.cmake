@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/ctms_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/ctmsp2_test.cc" "tests/CMakeFiles/ctms_tests.dir/ctmsp2_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/ctmsp2_test.cc.o.d"
+  "/root/repo/tests/dev_test.cc" "tests/CMakeFiles/ctms_tests.dir/dev_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/dev_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/ctms_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ctms_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kern_test.cc" "tests/CMakeFiles/ctms_tests.dir/kern_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/kern_test.cc.o.d"
+  "/root/repo/tests/measure_test.cc" "tests/CMakeFiles/ctms_tests.dir/measure_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/measure_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ctms_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/proto_test.cc" "tests/CMakeFiles/ctms_tests.dir/proto_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/proto_test.cc.o.d"
+  "/root/repo/tests/regression_test.cc" "tests/CMakeFiles/ctms_tests.dir/regression_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/regression_test.cc.o.d"
+  "/root/repo/tests/ring_test.cc" "tests/CMakeFiles/ctms_tests.dir/ring_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/ring_test.cc.o.d"
+  "/root/repo/tests/server_test.cc" "tests/CMakeFiles/ctms_tests.dir/server_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/server_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/ctms_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/ctms_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/ctms_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ctms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/ctms_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ctms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ctms_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/ctms_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/ctms_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/ctms_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ctms_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

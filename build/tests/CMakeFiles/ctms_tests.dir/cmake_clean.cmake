@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_tests.dir/core_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/ctmsp2_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/ctmsp2_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/dev_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/dev_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/hw_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/hw_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/integration_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/kern_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/kern_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/measure_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/measure_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/property_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/proto_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/proto_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/regression_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/regression_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/ring_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/ring_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/server_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/server_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/sim_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/ctms_tests.dir/workload_test.cc.o"
+  "CMakeFiles/ctms_tests.dir/workload_test.cc.o.d"
+  "ctms_tests"
+  "ctms_tests.pdb"
+  "ctms_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctms_sim_cli.dir/ctms_sim.cc.o"
+  "CMakeFiles/ctms_sim_cli.dir/ctms_sim.cc.o.d"
+  "ctms_sim"
+  "ctms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctms_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

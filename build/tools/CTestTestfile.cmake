@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/ctms_sim" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scenario_a "/root/repo/build/tools/ctms_sim" "--scenario=A" "--duration=5" "--histogram=7")
+set_tests_properties(cli_scenario_a PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scenario_b_truth "/root/repo/build/tools/ctms_sim" "--scenario=B" "--duration=5" "--method=truth" "--ground-truth" "--histogram=6")
+set_tests_properties(cli_scenario_b_truth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_zero_copy "/root/repo/build/tools/ctms_sim" "--scenario=A" "--duration=5" "--zero-copy")
+set_tests_properties(cli_zero_copy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline_low_rate "/root/repo/build/tools/ctms_sim" "--baseline" "--packet-bytes=192" "--duration=10")
+set_tests_properties(cli_baseline_low_rate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_csv_export "/root/repo/build/tools/ctms_sim" "--scenario=A" "--duration=3" "--csv-prefix=/root/repo/build/cli_csv")
+set_tests_properties(cli_csv_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/ctms_sim" "--frobnicate")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baseline_high_rate_fails "/root/repo/build/tools/ctms_sim" "--baseline" "--packet-bytes=2000" "--duration=15")
+set_tests_properties(cli_baseline_high_rate_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_replay "/root/repo/build/tools/ctms_sim" "--scenario=A" "--duration=5" "--trace=/root/repo/data/campus_trace.csv")
+set_tests_properties(cli_trace_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
