@@ -40,6 +40,14 @@ int main() {
   PrintRow("copy cost in the peak (2000 B @ 1 us/B)", "2000 us",
            FormatDuration(experiment.tx_machine().copies().CopyCost(
                2000, MemoryKind::kSystemMemory, MemoryKind::kIoChannelMemory)));
+  std::printf("\n");
+  PrintJsonLine("fig5_2", "median_us",
+                static_cast<double>(hist6.Percentile(0.5)) / 1000.0);
+  PrintJsonLine("fig5_2", "main_peak_mass", main_peak);
+  PrintJsonLine("fig5_2", "second_peak_mass", second_peak);
+  PrintJsonLine("fig5_2", "between_peaks_mass", between);
+  PrintJsonLine("fig5_2", "tail_mass", tails);
+
   std::printf("\nInterpretation: the second mode is CTMSP packets that found the driver busy\n"
               "finishing another transmission (measurement uploads, keep-alives) and then\n"
               "played catch up behind their own predecessors.\n");

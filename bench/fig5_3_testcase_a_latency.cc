@@ -33,6 +33,14 @@ int main() {
   PrintRow("packets lost", "0", Fmt("%.0f", static_cast<double>(report.packets_lost)));
   PrintRow("out of order", "0", Fmt("%.0f", static_cast<double>(report.out_of_order)));
 
+  std::printf("\n");
+  PrintJsonLine("fig5_3", "latency_min_us", static_cast<double>(stats.min) / 1000.0);
+  PrintJsonLine("fig5_3", "latency_mean_us", stats.mean / 1000.0);
+  PrintJsonLine("fig5_3", "latency_max_us", static_cast<double>(stats.max) / 1000.0);
+  PrintJsonLine("fig5_3", "mass_within_160us_of_mean",
+                hist7.FractionWithin(static_cast<SimDuration>(stats.mean), Microseconds(160)));
+  PrintJsonLine("fig5_3", "packets_lost", static_cast<double>(report.packets_lost));
+
   std::printf("\nLatency floor decomposition (calibrated constants):\n");
   std::printf("  transmit command 25 + tx DMA 3200 + token 20.5 + wire 4042 + rx DMA 3200\n");
   std::printf("  + rx dispatch 40 + handler entry 155 + CTMSP classify 57 = 10740 us\n");

@@ -56,5 +56,13 @@ int main() {
            Fmt("%.0f", static_cast<double>(report.packets_lost)));
   PrintRow("sink underruns over 117 min", "0 (no glitches)",
            Fmt("%.0f", static_cast<double>(report.sink_underruns)));
+
+  std::printf("\n");
+  PrintJsonLine("fig5_4", "latency_min_us", static_cast<double>(stats.min) / 1000.0);
+  PrintJsonLine("fig5_4", "peak_mass", peak);
+  PrintJsonLine("fig5_4", "exceptional_points", static_cast<double>(exceptional));
+  PrintJsonLine("fig5_4", "ring_insertions", static_cast<double>(report.ring_insertions));
+  PrintJsonLine("fig5_4", "ring_purges", static_cast<double>(report.ring_purges));
+  PrintJsonLine("fig5_4", "sink_underruns", static_cast<double>(report.sink_underruns));
   return 0;
 }

@@ -42,6 +42,16 @@ int main() {
   PrintRow("underruns with that buffering", "0",
            Fmt("%.0f", static_cast<double>(report.sink_underruns)));
 
+  std::printf("\n");
+  PrintJsonLine("tab_buffer_budget", "ordinary_worst_case_ms",
+                static_cast<double>(ordinary_max) / 1000000.0);
+  PrintJsonLine("tab_buffer_budget", "exceptional_worst_case_ms",
+                static_cast<double>(budget.max_latency) / 1000000.0);
+  PrintJsonLine("tab_buffer_budget", "buffer_bytes_needed",
+                static_cast<double>(budget.bytes_needed));
+  PrintJsonLine("tab_buffer_budget", "sink_underruns",
+                static_cast<double>(report.sink_underruns));
+
   std::printf("\nPaper: 'Even with these exceptional data points, the buffer space needed for\n"
               "150KBytes/sec CTMSP data transfer is under 25KBytes' — 'well within a\n"
               "reasonable range to support ... Continuous Time Media Systems.'\n");

@@ -49,6 +49,16 @@ int main() {
   PrintRow("CTMS DMA copies (rx)", "1",
            Fmt("%.2f", static_cast<double>(ctms_report.rx_dma_copies) / packets));
 
+  std::printf("\n");
+  PrintJsonLine("tab_copy_counts", "ctms_tx_cpu_copies_per_packet",
+                static_cast<double>(ctms_report.tx_cpu_copies) / packets);
+  PrintJsonLine("tab_copy_counts", "ctms_rx_cpu_copies_per_packet",
+                static_cast<double>(ctms_report.rx_cpu_copies) / packets);
+  PrintJsonLine("tab_copy_counts", "ctms_tx_dma_copies_per_packet",
+                static_cast<double>(ctms_report.tx_dma_copies) / packets);
+  PrintJsonLine("tab_copy_counts", "ctms_rx_dma_copies_per_packet",
+                static_cast<double>(ctms_report.rx_dma_copies) / packets);
+
   std::printf("\nCTMS eliminates the two kernel<->user copies entirely; the remaining two\n"
               "CPU copies (mbufs->DMA buffer, DMA buffer->mbufs) are the ones the paper's\n"
               "proposed pointer-passing extension would remove.\n");

@@ -77,6 +77,28 @@ int main() {
     std::printf("  %-40s %-22s %-22s %-22s\n", rate.label, udp_cell, tcp_cell, ctms_cell);
   }
 
+  std::printf("\n");
+  // The paper's two headline cells, re-run here for the JSON trend line.
+  {
+    BaselineConfig config;
+    config.packet_bytes = 2000;
+    config.duration = Seconds(30);
+    const BaselineReport report = BaselineExperiment(config).Run();
+    PrintJsonLine("tab_data_rates", "stock_166kbs_sustained", report.Sustained() ? 1 : 0);
+    PrintJsonLine("tab_data_rates", "stock_166kbs_delivered_kbytes_per_sec",
+                  report.delivered_kbytes_per_sec);
+  }
+  {
+    ScenarioConfig config = TestCaseB();
+    config.packet_bytes = 2000;
+    config.duration = Seconds(30);
+    const ExperimentReport report = CtmsExperiment(config).Run();
+    PrintJsonLine("tab_data_rates", "ctms_166kbs_packets_lost",
+                  static_cast<double>(report.packets_lost));
+    PrintJsonLine("tab_data_rates", "ctms_166kbs_sink_underruns",
+                  static_cast<double>(report.sink_underruns));
+  }
+
   std::printf("\nPaper: 16 KB/s worked in stock UNIX; 150 KB/s failed completely; the\n"
               "modified system sustains it on the loaded public ring.\n");
   return 0;

@@ -42,6 +42,12 @@ int main() {
     std::printf("  %-14s %-16s %-16s %-18s %-14s\n", Pct(fraction).c_str(),
                 Fmt("%.0f", mac.FramesPerSecond()).c_str(), Fmt("%.0f", measured_fps).c_str(),
                 Fmt("%.0f", interrupts_per_sec).c_str(), Pct(cpu_overhead).c_str());
+    if (fraction == 0.002 || fraction == 0.010) {
+      const std::string suffix = fraction == 0.002 ? "_at_0p2pct" : "_at_1p0pct";
+      PrintJsonLine("tab_mac_frame_overhead", "interrupts_per_sec" + suffix,
+                    interrupts_per_sec);
+      PrintJsonLine("tab_mac_frame_overhead", "cpu_overhead" + suffix, cpu_overhead);
+    }
   }
 
   std::printf("\nPaper: 0.2%%-1.0%% of a 4 Mbit ring in ~20-byte frames = 50 to 250\n"

@@ -80,6 +80,16 @@ int main() {
               static_cast<unsigned long long>(accept.out_of_order),
               static_cast<unsigned long long>(recover.out_of_order));
 
+  std::printf("\n");
+  PrintJsonLine("tab_ring_purge", "accept_mode_packets_lost",
+                static_cast<double>(accept.stream_lost));
+  PrintJsonLine("tab_ring_purge", "retransmit_mode_packets_lost",
+                static_cast<double>(recover.stream_lost));
+  PrintJsonLine("tab_ring_purge", "retransmit_mode_retransmissions",
+                static_cast<double>(recover.retransmissions));
+  PrintJsonLine("tab_ring_purge", "out_of_order",
+                static_cast<double>(accept.out_of_order + recover.out_of_order));
+
   std::printf("\nPaper: insertions occur ~20/day (about one per hour); each loses at most a\n"
               "packet or two; the paper 'decided that we could safely ignore this level of\n"
               "lost packets by adding code to recover'. Out-of-order packets must be zero —\n"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the full quality gate from ARCHITECTURE.md: the tier-1 build + test suite, then the
+# ASan/UBSan (and Leak) build of the unit tests. Both must be clean before merging.
+#
+# Usage: scripts/check.sh [--tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: build + ctest ==="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "=== tier 1 clean (sanitizers skipped) ==="
+  exit 0
+fi
+
+echo "=== sanitizers: ASan + UBSan + LSan ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+cmake --build build-asan -j "$(nproc)" --target ctms_tests
+./build-asan/tests/ctms_tests
+
+echo "=== all gates clean ==="

@@ -258,6 +258,17 @@ CtmsExperiment::CtmsExperiment(ScenarioConfig config)
     insertions_ = std::make_unique<InsertionSchedule>(
         &ring_, sim_.rng().Fork(), InsertionSchedule::Config{config_.insertion_mean});
   }
+
+  // Mirror the paper's four measurement points onto a tracer track, so a Perfetto view of
+  // a run shows the probe instants interleaved with the CPU/ring spans they bracket.
+  const TrackId probes_track = sim_.telemetry().tracer.RegisterTrack("probes");
+  probes_.Subscribe([this, probes_track](const ProbeEvent& event) {
+    SpanTracer& tracer = sim_.telemetry().tracer;
+    if (tracer.enabled()) {
+      tracer.AddInstant(probes_track, ProbePointName(event.point), event.time,
+                        {{"seq", static_cast<int64_t>(event.seq)}});
+    }
+  });
 }
 
 CtmsExperiment::~CtmsExperiment() {

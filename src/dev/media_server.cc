@@ -13,7 +13,15 @@ MediaServerSource::MediaServerSource(UnixKernel* kernel, MediaDisk* disk,
       driver_(driver),
       probes_(probes),
       connection_(connection),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  MetricsRegistry& metrics = kernel_->sim()->telemetry().metrics;
+  const std::string prefix = "driver.media." + kernel_->machine()->name() + ".";
+  packets_sent_counter_ = metrics.GetCounter(prefix + "packets_sent");
+  starvations_counter_ = metrics.GetCounter(prefix + "starvations");
+  disk_reads_counter_ = metrics.GetCounter(prefix + "disk_reads");
+  mbuf_drops_counter_ = metrics.GetCounter(prefix + "mbuf_drops");
+  queue_drops_counter_ = metrics.GetCounter(prefix + "queue_drops");
+}
 
 void MediaServerSource::Start(RingAddress dst) {
   Stop();
@@ -53,6 +61,7 @@ void MediaServerSource::Pump() {
     const int64_t chunk = std::min(config_.read_chunk_bytes, file_size - file_offset_);
     inflight_bytes_ += chunk;
     ++disk_reads_;
+    disk_reads_counter_->Increment();
     disk_->Read(config_.file, file_offset_, chunk, [this, chunk](bool ok) {
       inflight_bytes_ -= chunk;
       if (ok) {
@@ -67,6 +76,7 @@ void MediaServerSource::Pump() {
 void MediaServerSource::OnTick() {
   if (staged_bytes_ < config_.packet_bytes) {
     ++starvations_;  // the disk did not keep up; this period's packet is lost to the client
+    starvations_counter_->Increment();
     Pump();
     return;
   }
@@ -88,6 +98,7 @@ void MediaServerSource::OnTick() {
         std::optional<MbufChain> chain = kernel_->mbufs().Allocate(config_.packet_bytes);
         if (!chain.has_value()) {
           ++mbuf_drops_;
+          mbuf_drops_counter_->Increment();
           return;
         }
         Packet packet;
@@ -99,8 +110,10 @@ void MediaServerSource::OnTick() {
         packet.mbuf_segments = chain->segments();
         packet.chain = std::make_shared<MbufChain>(std::move(*chain));
         ++packets_sent_;
+        packets_sent_counter_->Increment();
         if (!driver_->OutputCtmsp(packet)) {
           ++queue_drops_;
+          queue_drops_counter_->Increment();
         }
       },
       Spl::kImp});

@@ -78,6 +78,13 @@ class MediaServerSource {
   uint64_t disk_reads_ = 0;
   uint64_t mbuf_drops_ = 0;
   uint64_t queue_drops_ = 0;
+
+  // Cached telemetry slots (driver.media.<machine>.*).
+  Counter* packets_sent_counter_;
+  Counter* starvations_counter_;
+  Counter* disk_reads_counter_;
+  Counter* mbuf_drops_counter_;
+  Counter* queue_drops_counter_;
 };
 
 }  // namespace ctms

@@ -14,6 +14,22 @@ TokenRingDriver::TokenRingDriver(UnixKernel* kernel, TokenRingAdapter* adapter, 
       snd_q_("tr-snd", config.snd_queue_limit),
       ipintr_q_("ipintr", config.ipintr_queue_limit) {
   adapter_->SetReceiveHandler([this](const Frame& frame) { OnRxDmaComplete(frame); });
+  Telemetry& telemetry = kernel_->sim()->telemetry();
+  const std::string& machine = kernel_->machine()->name();
+  const std::string prefix = "driver.tr." + machine + ".";
+  ctmsp_tx_counter_ = telemetry.metrics.GetCounter(prefix + "ctmsp_tx");
+  stock_tx_counter_ = telemetry.metrics.GetCounter(prefix + "stock_tx");
+  rx_ctmsp_counter_ = telemetry.metrics.GetCounter(prefix + "rx_ctmsp");
+  rx_ip_counter_ = telemetry.metrics.GetCounter(prefix + "rx_ip");
+  rx_arp_counter_ = telemetry.metrics.GetCounter(prefix + "rx_arp");
+  mac_interrupts_counter_ = telemetry.metrics.GetCounter(prefix + "mac_interrupts");
+  retransmits_counter_ = telemetry.metrics.GetCounter(prefix + "retransmits");
+  track_ = telemetry.tracer.RegisterTrack("tr." + machine);
+  const std::string ifq_prefix = "kern." + machine + ".ifq.";
+  for (IfQueue* q : {&ctmsp_q_, &snd_q_, &ipintr_q_}) {
+    q->BindTelemetry(telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".enqueues"),
+                     telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".drops"));
+  }
 }
 
 bool TokenRingDriver::Output(const Packet& packet) {
@@ -43,6 +59,7 @@ void TokenRingDriver::RetransmitCtmsp(uint32_t seq, int64_t bytes) {
   packet.dst = last_ctmsp_dst_;
   packet.created_at = kernel_->sim()->Now();
   ++retransmit_requests_;
+  retransmits_counter_->Increment();
   if (config_.ctms_mode && config_.driver_priority) {
     ctmsp_q_.Requeue(packet);
   } else {
@@ -122,12 +139,20 @@ void TokenRingDriver::TransmitPacket(Packet packet, bool is_ctmsp) {
         frame.created_at = packet.created_at;
         if (is_ctmsp) {
           ++ctmsp_tx_;
+          ctmsp_tx_counter_->Increment();
           last_ctmsp_dst_ = packet.dst;
           if (ctmsp_tx_notify_) {
             ctmsp_tx_notify_(packet.seq, packet.bytes);
           }
         } else {
           ++stock_tx_;
+          stock_tx_counter_->Increment();
+        }
+        SpanTracer& tracer = kernel_->sim()->telemetry().tracer;
+        if (tracer.enabled()) {
+          tracer.AddInstant(track_, is_ctmsp ? "ctmsp_tx" : "stock_tx", kernel_->sim()->Now(),
+                            {{"seq", static_cast<int64_t>(packet.seq)},
+                             {"bytes", packet.bytes}});
         }
         adapter_->IssueTransmit(std::move(frame), [this](const TokenRingAdapter::TxStatus& s) {
           OnTxComplete(s);
@@ -173,6 +198,13 @@ void TokenRingDriver::OnRxDmaComplete(const Frame& frame) {
     job.steps.push_back(Cpu::Step{config_.classify_cost + probes_->inline_cost(),
                                   [this, packet]() {
                                     ++rx_ctmsp_;
+                                    rx_ctmsp_counter_->Increment();
+                                    SpanTracer& tracer = kernel_->sim()->telemetry().tracer;
+                                    if (tracer.enabled()) {
+                                      tracer.AddInstant(
+                                          track_, "ctmsp_rx_classified", kernel_->sim()->Now(),
+                                          {{"seq", static_cast<int64_t>(packet.seq)}});
+                                    }
                                     probes_->Emit(ProbePoint::kRxClassified, packet.seq,
                                                   kernel_->sim()->Now());
                                   },
@@ -217,12 +249,14 @@ void TokenRingDriver::OnRxDmaComplete(const Frame& frame) {
                                     adapter_->ReleaseRxBuffer();
                                     if (packet.protocol == ProtocolId::kArp) {
                                       ++rx_arp_;
+                                      rx_arp_counter_->Increment();
                                       if (arp_input_) {
                                         arp_input_(packet);
                                       }
                                       return;
                                     }
                                     ++rx_ip_;
+                                    rx_ip_counter_->Increment();
                                     if (ipintr_q_.Enqueue(packet)) {
                                       DrainIpintr();
                                     }
@@ -259,6 +293,7 @@ void TokenRingDriver::EnablePurgeDetect(std::function<void()> on_purge) {
     kernel_->machine()->cpu().SubmitInterrupt("tr-mac", Spl::kImp, config_.mac_parse_cost,
                                               [this, frame]() {
       ++mac_interrupts_;
+      mac_interrupts_counter_->Increment();
       if (frame.mac_type == MacFrameType::kRingPurge && on_purge_) {
         on_purge_();
       }

@@ -159,6 +159,16 @@ class TokenRingDriver : public NetIf {
   uint64_t rx_ip_ = 0;
   uint64_t rx_arp_ = 0;
   uint64_t mac_interrupts_ = 0;
+
+  // Cached telemetry slots (driver.tr.<machine>.*) and the driver's tracer track.
+  Counter* ctmsp_tx_counter_;
+  Counter* stock_tx_counter_;
+  Counter* rx_ctmsp_counter_;
+  Counter* rx_ip_counter_;
+  Counter* rx_arp_counter_;
+  Counter* mac_interrupts_counter_;
+  Counter* retransmits_counter_;
+  TrackId track_ = kInvalidTrackId;
 };
 
 }  // namespace ctms

@@ -11,7 +11,14 @@ VcaSourceDriver::VcaSourceDriver(UnixKernel* kernel, TokenRingDriver* tr_driver,
       tr_driver_(tr_driver),
       probes_(probes),
       connection_(connection),
-      config_(config) {}
+      config_(config) {
+  MetricsRegistry& metrics = kernel_->sim()->telemetry().metrics;
+  const std::string prefix = "driver.vca." + kernel_->machine()->name() + ".";
+  interrupts_counter_ = metrics.GetCounter(prefix + "interrupts");
+  packets_built_counter_ = metrics.GetCounter(prefix + "packets_built");
+  mbuf_drops_counter_ = metrics.GetCounter(prefix + "mbuf_drops");
+  queue_drops_counter_ = metrics.GetCounter(prefix + "queue_drops");
+}
 
 void VcaSourceDriver::Start(OutputMode mode, RingAddress dst,
                             std::function<void(const Packet&)> deliver) {
@@ -93,6 +100,7 @@ int64_t VcaSourceDriver::WirePacketBytes(const Config& config, uint32_t n) {
 
 void VcaSourceDriver::OnIrq() {
   ++interrupts_;
+  interrupts_counter_->Increment();
   const SimTime now = kernel_->sim()->Now();
   // Measurement point 1: the interrupt request line itself (hardware edge; external tools
   // see it with no software cost).
@@ -137,6 +145,7 @@ void VcaSourceDriver::OnIrq() {
           std::optional<MbufChain> chain = kernel_->mbufs().Allocate(wire_bytes);
           if (!chain.has_value()) {
             ++mbuf_drops_;  // M_DONTWAIT semantics: interrupt context cannot sleep
+            mbuf_drops_counter_->Increment();
             return;
           }
           Packet packet;
@@ -148,8 +157,10 @@ void VcaSourceDriver::OnIrq() {
           packet.mbuf_segments = chain->segments();
           packet.chain = std::make_shared<MbufChain>(std::move(*chain));
           ++packets_built_;
+          packets_built_counter_->Increment();
           if (!tr_driver_->OutputCtmsp(packet)) {
             ++queue_drops_;
+            queue_drops_counter_->Increment();
           }
         },
         Spl::kImp});
@@ -166,12 +177,14 @@ void VcaSourceDriver::OnIrq() {
           std::optional<MbufChain> chain = kernel_->mbufs().Allocate(config_.packet_bytes);
           if (!chain.has_value()) {
             ++mbuf_drops_;
+            mbuf_drops_counter_->Increment();
             return;
           }
           Packet packet;
           packet.protocol = ProtocolId::kNone;
           packet.bytes = config_.packet_bytes;
           packet.seq = static_cast<uint32_t>(++packets_built_);
+          packets_built_counter_->Increment();
           packet.dst = dst_;
           packet.created_at = now;
           packet.mbuf_segments = chain->segments();
@@ -188,7 +201,14 @@ void VcaSourceDriver::OnIrq() {
 // --- VcaSinkDriver ---------------------------------------------------------------------------
 
 VcaSinkDriver::VcaSinkDriver(UnixKernel* kernel, CtmspReceiver* connection, Config config)
-    : kernel_(kernel), connection_(connection), config_(config) {}
+    : kernel_(kernel), connection_(connection), config_(config) {
+  MetricsRegistry& metrics = kernel_->sim()->telemetry().metrics;
+  const std::string prefix = "driver.vca." + kernel_->machine()->name() + ".";
+  packets_accepted_counter_ = metrics.GetCounter(prefix + "packets_accepted");
+  underruns_counter_ = metrics.GetCounter(prefix + "underruns");
+  rebuffers_counter_ = metrics.GetCounter(prefix + "rebuffers");
+  skipped_counter_ = metrics.GetCounter(prefix + "skipped_packets");
+}
 
 void VcaSinkDriver::OnCtmspDeliver(const Packet& packet, bool in_dma_buffer,
                                    std::function<void()> release) {
@@ -201,6 +221,7 @@ void VcaSinkDriver::OnCtmspDeliver(const Packet& packet, bool in_dma_buffer,
     }
   }
   ++packets_accepted_;
+  packets_accepted_counter_->Increment();
 
   Cpu::Job job;
   job.name = "vca-sink";
@@ -275,6 +296,7 @@ void VcaSinkDriver::EnqueuePlayout(int64_t bytes) {
     buffered_bytes_ -= buffer_.front();
     buffer_.pop_front();
     ++skipped_packets_;
+    skipped_counter_->Increment();
   }
 }
 
@@ -292,11 +314,13 @@ void VcaSinkDriver::PlayoutTick() {
   }
   if (needed > 0) {
     ++underruns_;  // the DSP ran dry mid-period: an audible glitch
+    underruns_counter_->Increment();
     if (config_.adaptive) {
       // Rebuffer: stop playout until the (re-sized) buffer refills. The new target is set
       // when the stream resumes, from the measured length of the whole stall.
       rebuffering_ = true;
       ++rebuffers_;
+      rebuffers_counter_->Increment();
       StopPlayout();
     }
   }

@@ -113,6 +113,12 @@ class VcaSourceDriver {
   uint64_t packets_built_ = 0;
   uint64_t mbuf_drops_ = 0;
   uint64_t queue_drops_ = 0;
+
+  // Cached telemetry slots (driver.vca.<machine>.*).
+  Counter* interrupts_counter_;
+  Counter* packets_built_counter_;
+  Counter* mbuf_drops_counter_;
+  Counter* queue_drops_counter_;
 };
 
 class VcaSinkDriver {
@@ -186,6 +192,12 @@ class VcaSinkDriver {
   uint64_t underruns_ = 0;
   uint64_t rebuffers_ = 0;
   uint64_t skipped_packets_ = 0;
+
+  // Cached telemetry slots (driver.vca.<machine>.*).
+  Counter* packets_accepted_counter_;
+  Counter* underruns_counter_;
+  Counter* rebuffers_counter_;
+  Counter* skipped_counter_;
   // Occupancy integral for MeanBufferedBytes: sum of buffered_bytes * dt.
   double occupancy_integral_ = 0.0;
   SimTime occupancy_last_update_ = 0;

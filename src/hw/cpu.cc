@@ -5,7 +5,24 @@
 
 namespace ctms {
 
-Cpu::Cpu(Simulation* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+Cpu::Cpu(Simulation* sim, std::string name) : sim_(sim), name_(std::move(name)) {
+  // Machines name their processor "<machine>.cpu"; the metric instance drops the redundant
+  // suffix so names read cpu.tx.preemptions rather than cpu.tx.cpu.preemptions.
+  std::string instance = name_;
+  if (instance.size() > 4 && instance.ends_with(".cpu")) {
+    instance.resize(instance.size() - 4);
+  }
+  const std::string prefix = "cpu." + instance + ".";
+  Telemetry& telemetry = sim_->telemetry();
+  jobs_submitted_counter_ = telemetry.metrics.GetCounter(prefix + "jobs_submitted");
+  jobs_completed_counter_ = telemetry.metrics.GetCounter(prefix + "jobs_completed");
+  steps_counter_ = telemetry.metrics.GetCounter(prefix + "steps_executed");
+  preemptions_counter_ = telemetry.metrics.GetCounter(prefix + "preemptions");
+  interrupts_counter_ = telemetry.metrics.GetCounter(prefix + "interrupts");
+  // The trace track shares the metric instance name so the Perfetto row and the counter
+  // namespace line up ("cpu.tx" both places).
+  track_ = telemetry.tracer.RegisterTrack("cpu." + instance);
+}
 
 Spl Cpu::EffectiveLevel(const ActiveJob& active) const {
   if (active.next_step >= active.job.steps.size()) {
@@ -48,6 +65,7 @@ void Cpu::SubmitInterrupt(Job job) {
     steps.push_back(std::move(s));
   }
   job.steps = std::move(steps);
+  interrupts_counter_->Increment();
   Enqueue(ActiveJob{std::move(job), 0});
 }
 
@@ -79,6 +97,7 @@ void Cpu::EndMemoryContention() {
 }
 
 void Cpu::Enqueue(ActiveJob active) {
+  jobs_submitted_counter_->Increment();
   auto holder = std::make_unique<ActiveJob>(std::move(active));
   // Insert keeping pending_ sorted by level descending, FIFO within a level.
   auto it = pending_.begin();
@@ -110,6 +129,7 @@ void Cpu::ScheduleNext() {
         current_ == nullptr || !SplBlocks(EffectiveLevel(*current_), incoming);
     if (preempts) {
       if (current_ != nullptr) {
+        preemptions_counter_->Increment();
         preempted_.push_back(std::move(current_));
       }
       current_ = std::move(pending_.front());
@@ -124,6 +144,7 @@ void Cpu::ScheduleNext() {
     auto finished = std::move(current_);
     current_ = nullptr;
     ++jobs_completed_;
+    jobs_completed_counter_->Increment();
     if (finished->job.on_done) {
       finished->job.on_done();
     }
@@ -147,6 +168,13 @@ void Cpu::StartStep() {
     busy_time_ += elapsed;
     busy_by_job_[current_->job.name] += elapsed;
     const size_t completed = current_->next_step - 1;
+    steps_counter_->Increment();
+    SpanTracer& tracer = sim_->telemetry().tracer;
+    if (tracer.enabled()) {
+      tracer.AddComplete(
+          track_, current_->job.name, sim_->Now() - elapsed, elapsed,
+          {{"spl", static_cast<int64_t>(SplValue(current_->job.steps[completed].spl))}});
+    }
     auto action = std::move(current_->job.steps[completed].action);
     if (action) {
       action();  // may submit new jobs; step_in_flight_ still true so no re-entrancy
@@ -156,6 +184,7 @@ void Cpu::StartStep() {
       auto finished = std::move(current_);
       current_ = nullptr;
       ++jobs_completed_;
+      jobs_completed_counter_->Increment();
       if (finished->job.on_done) {
         finished->job.on_done();
       }

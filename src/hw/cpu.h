@@ -118,6 +118,14 @@ class Cpu {
   SimDuration busy_time_ = 0;
   std::map<std::string, SimDuration> busy_by_job_;
   uint64_t jobs_completed_ = 0;
+
+  // Cached telemetry slots (cpu.<instance>.*) and the tracer track carrying step spans.
+  Counter* jobs_submitted_counter_;
+  Counter* jobs_completed_counter_;
+  Counter* steps_counter_;
+  Counter* preemptions_counter_;
+  Counter* interrupts_counter_;
+  TrackId track_ = kInvalidTrackId;
 };
 
 }  // namespace ctms

@@ -7,7 +7,13 @@
 namespace ctms {
 
 DmaEngine::DmaEngine(Simulation* sim, std::string name, Cpu* cpu, CopyEngine* accounting)
-    : sim_(sim), name_(std::move(name)), cpu_(cpu), accounting_(accounting) {}
+    : sim_(sim), name_(std::move(name)), cpu_(cpu), accounting_(accounting) {
+  Telemetry& telemetry = sim_->telemetry();
+  const std::string prefix = "dma." + name_ + ".";
+  transfers_counter_ = telemetry.metrics.GetCounter(prefix + "transfers");
+  bytes_counter_ = telemetry.metrics.GetCounter(prefix + "bytes");
+  track_ = telemetry.tracer.RegisterTrack(name_);
+}
 
 void DmaEngine::Transfer(int64_t bytes, MemoryKind buffer_kind, std::function<void()> on_done) {
   Request request{bytes, buffer_kind, std::move(on_done)};
@@ -32,6 +38,15 @@ void DmaEngine::Start(Request request) {
     }
     ++transfers_completed_;
     bytes_transferred_ += request.bytes;
+    transfers_counter_->Increment();
+    bytes_counter_->Increment(static_cast<uint64_t>(request.bytes));
+    SpanTracer& tracer = sim_->telemetry().tracer;
+    if (tracer.enabled()) {
+      tracer.AddComplete(track_, "dma_transfer", sim_->Now() - TransferTime(request.bytes),
+                         TransferTime(request.bytes),
+                         {{"bytes", request.bytes},
+                          {"contends_cpu", steals_cpu_cycles ? 1 : 0}});
+    }
     if (accounting_ != nullptr) {
       accounting_->RecordDmaCopy(request.bytes);
     }

@@ -58,6 +58,11 @@ class DmaEngine {
   std::deque<Request> queue_;
   uint64_t transfers_completed_ = 0;
   int64_t bytes_transferred_ = 0;
+
+  // Cached telemetry slots (dma.<engine>.*) and the engine's tracer track (transfer spans).
+  Counter* transfers_counter_;
+  Counter* bytes_counter_;
+  TrackId track_ = kInvalidTrackId;
 };
 
 }  // namespace ctms

@@ -5,10 +5,16 @@ namespace ctms {
 bool IfQueue::Enqueue(const Packet& packet) {
   if (static_cast<int>(queue_.size()) >= maxlen_) {
     ++drops_;
+    if (drops_counter_ != nullptr) {
+      drops_counter_->Increment();
+    }
     return false;
   }
   queue_.push_back(packet);
   ++enqueued_total_;
+  if (enqueues_counter_ != nullptr) {
+    enqueues_counter_->Increment();
+  }
   if (queue_.size() > peak_depth_) {
     peak_depth_ = queue_.size();
   }

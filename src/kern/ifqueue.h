@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/kern/packet.h"
+#include "src/telemetry/metrics.h"
 
 namespace ctms {
 
@@ -37,6 +38,13 @@ class IfQueue {
   size_t peak_depth() const { return peak_depth_; }
   const std::string& name() const { return name_; }
 
+  // IfQueue has no Simulation*; the owning driver wires registry slots in after
+  // construction (kern.<machine>.ifq.<queue>.{enqueues,drops}). Either may be null.
+  void BindTelemetry(Counter* enqueues, Counter* drops) {
+    enqueues_counter_ = enqueues;
+    drops_counter_ = drops;
+  }
+
  private:
   std::string name_;
   int maxlen_;
@@ -44,6 +52,8 @@ class IfQueue {
   uint64_t drops_ = 0;
   uint64_t enqueued_total_ = 0;
   size_t peak_depth_ = 0;
+  Counter* enqueues_counter_ = nullptr;
+  Counter* drops_counter_ = nullptr;
 };
 
 }  // namespace ctms

@@ -56,11 +56,17 @@ std::optional<MbufChain> MbufPool::Allocate(int64_t bytes) {
   ChainShape(bytes, &mbufs, &clusters);
   if (!CanSatisfy(mbufs, clusters)) {
     ++stats_.failures;
+    if (failures_counter_ != nullptr) {
+      failures_counter_->Increment();
+    }
     return std::nullopt;
   }
   mbufs_in_use_ += mbufs;
   clusters_in_use_ += clusters;
   ++stats_.allocations;
+  if (allocs_counter_ != nullptr) {
+    allocs_counter_->Increment();
+  }
   if (mbufs_in_use_ > stats_.peak_mbufs_in_use) {
     stats_.peak_mbufs_in_use = mbufs_in_use_;
   }
@@ -81,6 +87,9 @@ void MbufPool::AllocateOrWait(int64_t bytes, std::function<void(MbufChain)> on_r
     }
   }
   ++stats_.waits;
+  if (waits_counter_ != nullptr) {
+    waits_counter_->Increment();
+  }
   waiters_.push_back(Waiter{bytes, std::move(on_ready)});
 }
 

@@ -15,6 +15,8 @@
 #include <functional>
 #include <optional>
 
+#include "src/telemetry/metrics.h"
+
 namespace ctms {
 
 // Data bytes carried by a plain mbuf (128-byte block minus the header).
@@ -90,6 +92,14 @@ class MbufPool {
   size_t waiter_count() const { return waiters_.size(); }
   const Stats& stats() const { return stats_; }
 
+  // MbufPool has no Simulation*; the owning UnixKernel wires registry slots in after
+  // construction (kern.<machine>.mbuf.{allocs,failures,waits}). Any may be null.
+  void BindTelemetry(Counter* allocs, Counter* failures, Counter* waits) {
+    allocs_counter_ = allocs;
+    failures_counter_ = failures;
+    waits_counter_ = waits;
+  }
+
  private:
   friend class MbufChain;
   void Free(int mbufs, int clusters);
@@ -108,6 +118,9 @@ class MbufPool {
   std::deque<Waiter> waiters_;
   bool serving_waiters_ = false;
   Stats stats_;
+  Counter* allocs_counter_ = nullptr;
+  Counter* failures_counter_ = nullptr;
+  Counter* waits_counter_ = nullptr;
 };
 
 }  // namespace ctms

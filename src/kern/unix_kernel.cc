@@ -5,7 +5,13 @@
 namespace ctms {
 
 UnixKernel::UnixKernel(Machine* machine, Config config)
-    : machine_(machine), config_(config), mbufs_(config.mbuf_capacity, config.cluster_capacity) {}
+    : machine_(machine), config_(config), mbufs_(config.mbuf_capacity, config.cluster_capacity) {
+  MetricsRegistry& metrics = machine_->sim()->telemetry().metrics;
+  const std::string prefix = "kern." + machine_->name() + ".mbuf.";
+  mbufs_.BindTelemetry(metrics.GetCounter(prefix + "allocs"),
+                       metrics.GetCounter(prefix + "failures"),
+                       metrics.GetCounter(prefix + "waits"));
+}
 
 std::vector<Cpu::Step> UnixKernel::CopySteps(int64_t bytes, MemoryKind src, MemoryKind dst,
                                              Spl spl, std::function<void()> on_done) {

@@ -12,6 +12,12 @@ TokenRingAdapter::TokenRingAdapter(Machine* machine, TokenRing* ring, Config con
       rx_dma_(machine->sim(), machine->name() + ".tr-rx-dma", &machine->cpu(), &machine->copies()),
       free_host_rx_buffers_(config.host_rx_buffers) {
   address_ = ring->Attach(this);
+  const std::string prefix = "adapter." + machine->name() + ".";
+  MetricsRegistry& metrics = machine->sim()->telemetry().metrics;
+  frames_transmitted_counter_ = metrics.GetCounter(prefix + "frames_transmitted");
+  frames_received_counter_ = metrics.GetCounter(prefix + "frames_received");
+  rx_overruns_counter_ = metrics.GetCounter(prefix + "rx_overruns");
+  mac_frames_seen_counter_ = metrics.GetCounter(prefix + "mac_frames_seen");
 }
 
 bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(const TxStatus&)> on_complete) {
@@ -31,6 +37,7 @@ bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(const TxSta
                            tx_busy_ = false;
                            if (outcome.delivered) {
                              ++frames_transmitted_;
+                             frames_transmitted_counter_->Increment();
                            }
                            if (on_complete) {
                              TxStatus status;
@@ -46,6 +53,7 @@ bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(const TxSta
 void TokenRingAdapter::OnFrameOnWire(const Frame& frame) {
   if (frame.kind == FrameKind::kMac) {
     ++mac_frames_seen_;
+    mac_frames_seen_counter_->Increment();
     if (config_.receive_mac_frames && mac_handler_) {
       mac_handler_(frame);
     }
@@ -53,6 +61,7 @@ void TokenRingAdapter::OnFrameOnWire(const Frame& frame) {
   }
   if (static_cast<int>(onboard_rx_.size()) >= config_.onboard_rx_slots) {
     ++rx_overruns_;
+    rx_overruns_counter_->Increment();
     return;
   }
   onboard_rx_.push_back(frame);
@@ -77,6 +86,7 @@ void TokenRingAdapter::TryStartRxDma() {
       onboard_rx_.pop_front();
       rx_dma_active_ = false;
       ++frames_received_;
+      frames_received_counter_->Increment();
       if (rx_handler_) {
         rx_handler_(done);
       }

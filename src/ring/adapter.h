@@ -117,6 +117,12 @@ class TokenRingAdapter {
   uint64_t frames_received_ = 0;
   uint64_t rx_overruns_ = 0;
   uint64_t mac_frames_seen_ = 0;
+
+  // Cached telemetry slots (adapter.<machine>.*).
+  Counter* frames_transmitted_counter_;
+  Counter* frames_received_counter_;
+  Counter* rx_overruns_counter_;
+  Counter* mac_frames_seen_counter_;
 };
 
 }  // namespace ctms

@@ -10,7 +10,17 @@ namespace ctms {
 
 TokenRing::TokenRing(Simulation* sim) : TokenRing(sim, Config{}) {}
 
-TokenRing::TokenRing(Simulation* sim, Config config) : sim_(sim), config_(config) {}
+TokenRing::TokenRing(Simulation* sim, Config config) : sim_(sim), config_(config) {
+  Telemetry& telemetry = sim_->telemetry();
+  tx_requests_counter_ = telemetry.metrics.GetCounter("ring.tx_requests");
+  frames_carried_counter_ = telemetry.metrics.GetCounter("ring.frames_carried");
+  bytes_carried_counter_ = telemetry.metrics.GetCounter("ring.bytes_carried");
+  frames_lost_counter_ = telemetry.metrics.GetCounter("ring.frames_lost_to_purge");
+  purges_counter_ = telemetry.metrics.GetCounter("ring.purges");
+  insertions_counter_ = telemetry.metrics.GetCounter("ring.insertions");
+  mac_frames_counter_ = telemetry.metrics.GetCounter("ring.mac_frames");
+  track_ = telemetry.tracer.RegisterTrack("ring");
+}
 
 RingAddress TokenRing::Attach(TokenRingAdapter* adapter) {
   const RingAddress address = next_address_++;
@@ -32,6 +42,7 @@ SimDuration TokenRing::TokenAcquisitionTime() const {
 
 void TokenRing::RequestTransmit(Frame frame, std::function<void(const TxOutcome&)> on_complete) {
   frame.id = next_frame_id_++;
+  tx_requests_counter_->Increment();
   PendingTx tx{std::move(frame), std::move(on_complete), next_order_++};
   // Insert keeping the queue sorted by priority descending, FIFO within a priority. This is
   // the observable effect of the 802.5 reservation scheme: a priority-6 CTMSP frame passes
@@ -63,9 +74,16 @@ void TokenRing::ServeNext() {
 }
 
 void TokenRing::BeginTransmission(PendingTx tx) {
-  const SimDuration on_wire = TokenAcquisitionTime() + WireTime(WireBytes(tx.frame));
+  const SimDuration acquisition = TokenAcquisitionTime();
+  const SimDuration on_wire = acquisition + WireTime(WireBytes(tx.frame));
   in_flight_ = std::move(tx);
   wire_busy_time_ += on_wire;
+  in_flight_wire_start_ = sim_->Now() + acquisition;
+  SpanTracer& tracer = sim_->telemetry().tracer;
+  if (tracer.enabled()) {
+    tracer.AddComplete(track_, "token", sim_->Now(), acquisition,
+                       {{"stations", static_cast<int64_t>(station_count())}});
+  }
   in_flight_event_ = sim_->After(on_wire, [this]() {
     in_flight_event_ = kInvalidEventId;
     TxOutcome outcome;
@@ -78,12 +96,31 @@ void TokenRing::FinishTransmission(const TxOutcome& outcome) {
   assert(in_flight_.has_value());
   PendingTx done = std::move(*in_flight_);
   in_flight_.reset();
+  SpanTracer& tracer = sim_->telemetry().tracer;
+  if (tracer.enabled()) {
+    const SimTime now = sim_->Now();
+    const SimTime start =
+        in_flight_wire_start_ < now ? in_flight_wire_start_ : now;  // purge can land early
+    tracer.AddComplete(track_, "frame", start, now - start,
+                       {{"id", static_cast<int64_t>(done.frame.id)},
+                        {"bytes", WireBytes(done.frame)},
+                        {"priority", static_cast<int64_t>(done.frame.priority)},
+                        {"delivered", outcome.delivered ? 1 : 0}});
+  }
   if (outcome.delivered) {
     ++frames_carried_;
+    frames_carried_counter_->Increment();
     bytes_carried_ += WireBytes(done.frame);
+    bytes_carried_counter_->Increment(static_cast<uint64_t>(WireBytes(done.frame)));
+    if (done.frame.kind == FrameKind::kMac) {
+      // Station-originated MAC frames (Standby Monitor Present etc.) count alongside the
+      // Active Monitor broadcasts so ring.mac_frames reflects all MAC traffic on the wire.
+      mac_frames_counter_->Increment();
+    }
     DeliverFrame(done.frame);
   } else {
     ++frames_lost_to_purge_;
+    frames_lost_counter_->Increment();
   }
   if (done.on_complete) {
     done.on_complete(outcome);
@@ -120,7 +157,10 @@ void TokenRing::BroadcastMacFrame(MacFrameType type) {
   frame.priority = 7;
   frame.created_at = sim_->Now();
   ++frames_carried_;
+  frames_carried_counter_->Increment();
   bytes_carried_ += WireBytes(frame);
+  bytes_carried_counter_->Increment(static_cast<uint64_t>(WireBytes(frame)));
+  mac_frames_counter_->Increment();
   DeliverFrame(frame);
 }
 
@@ -132,7 +172,12 @@ void TokenRing::BlockUntil(SimTime when) {
 
 void TokenRing::TriggerRingPurge() {
   ++purge_count_;
+  purges_counter_->Increment();
   const SimTime now = sim_->Now();
+  SpanTracer& tracer = sim_->telemetry().tracer;
+  if (tracer.enabled()) {
+    tracer.AddInstant(track_, "ring_purge", now);
+  }
   for (const PurgeMonitor& monitor : purge_monitors_) {
     monitor(now);
   }
@@ -157,7 +202,12 @@ void TokenRing::TriggerRingPurge() {
 
 void TokenRing::TriggerStationInsertion() {
   ++insertion_count_;
+  insertions_counter_->Increment();
   const SimTime now = sim_->Now();
+  SpanTracer& tracer = sim_->telemetry().tracer;
+  if (tracer.enabled()) {
+    tracer.AddInstant(track_, "station_insertion", now);
+  }
   const SimDuration reset = sim_->rng().UniformDuration(config_.insertion_reset_min,
                                                         config_.insertion_reset_max);
   const int purges = static_cast<int>(

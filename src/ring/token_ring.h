@@ -146,6 +146,18 @@ class TokenRing {
   uint64_t purge_count_ = 0;
   uint64_t insertion_count_ = 0;
   SimDuration wire_busy_time_ = 0;
+
+  // Cached telemetry slots (ring.*) and the ring's tracer track (token + frame spans,
+  // purge/insertion instants).
+  Counter* tx_requests_counter_;
+  Counter* frames_carried_counter_;
+  Counter* bytes_carried_counter_;
+  Counter* frames_lost_counter_;
+  Counter* purges_counter_;
+  Counter* insertions_counter_;
+  Counter* mac_frames_counter_;
+  TrackId track_ = kInvalidTrackId;
+  SimTime in_flight_wire_start_ = 0;  // end of token acquisition for the in-flight frame
 };
 
 }  // namespace ctms

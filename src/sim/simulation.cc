@@ -6,19 +6,31 @@
 
 namespace ctms {
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(uint64_t seed)
+    : rng_(seed),
+      executed_counter_(telemetry_.metrics.GetCounter("sim.events_executed")),
+      scheduled_counter_(telemetry_.metrics.GetCounter("sim.events_scheduled")),
+      cancelled_counter_(telemetry_.metrics.GetCounter("sim.events_cancelled")) {}
 
 EventId Simulation::After(SimDuration delay, EventQueue::Action action) {
   assert(delay >= 0);
+  scheduled_counter_->Increment();
   return queue_.Schedule(now_ + delay, std::move(action));
 }
 
 EventId Simulation::At(SimTime when, EventQueue::Action action) {
   assert(when >= now_);
+  scheduled_counter_->Increment();
   return queue_.Schedule(when, std::move(action));
 }
 
-bool Simulation::Cancel(EventId id) { return queue_.Cancel(id); }
+bool Simulation::Cancel(EventId id) {
+  const bool cancelled = queue_.Cancel(id);
+  if (cancelled) {
+    cancelled_counter_->Increment();
+  }
+  return cancelled;
+}
 
 uint64_t Simulation::RunUntil(SimTime until) {
   stop_requested_ = false;
@@ -33,6 +45,7 @@ uint64_t Simulation::RunUntil(SimTime until) {
     action();
     ++count;
     ++events_executed_;
+    executed_counter_->Increment();
   }
   if (now_ < until && !stop_requested_) {
     now_ = until;
@@ -50,6 +63,7 @@ uint64_t Simulation::RunAll() {
     action();
     ++count;
     ++events_executed_;
+    executed_counter_->Increment();
   }
   return count;
 }

@@ -13,6 +13,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 #include "src/sim/time.h"
+#include "src/telemetry/telemetry.h"
 
 namespace ctms {
 
@@ -25,6 +26,12 @@ class Simulation {
 
   SimTime Now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  // The run's metrics registry and span tracer. Model objects cache counter pointers at
+  // construction and increment them at event points; see src/telemetry/telemetry.h for the
+  // determinism contract.
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
 
   // Schedules `action` to run after `delay` (>= 0) from now.
   EventId After(SimDuration delay, EventQueue::Action action);
@@ -53,11 +60,15 @@ class Simulation {
   uint64_t events_executed() const { return events_executed_; }
 
  private:
+  Telemetry telemetry_;
   EventQueue queue_;
   SimTime now_ = 0;
   Rng rng_;
   bool stop_requested_ = false;
   uint64_t events_executed_ = 0;
+  Counter* executed_counter_;
+  Counter* scheduled_counter_;
+  Counter* cancelled_counter_;
 };
 
 // Convenience: schedules `action` every `period`, starting at `first` (absolute). Returns a

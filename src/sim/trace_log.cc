@@ -34,6 +34,11 @@ std::vector<TraceLog::Record> TraceLog::WithCategory(const std::string& category
 
 std::string TraceLog::Dump() const {
   std::ostringstream os;
+  if (dropped_ > 0) {
+    // Without this header a capped log is indistinguishable from a complete one, and the
+    // reader hunts for records that were silently evicted.
+    os << "[" << dropped_ << " oldest records dropped at capacity " << max_records_ << "]\n";
+  }
   for (const Record& r : records_) {
     os << FormatDuration(r.time) << "  " << r.category << "  " << r.message << "\n";
   }

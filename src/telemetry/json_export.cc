@@ -1,0 +1,186 @@
+#include "src/telemetry/json_export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ctms {
+
+namespace {
+
+// Microseconds with nanosecond precision: the trace-viewer unit is us, SimTime is ns.
+std::string TsMicros(int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  return buf;
+}
+
+std::string NumberJson(double value) {
+  char buf[40];
+  if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+void AppendArgs(std::ostringstream& os, const std::vector<TraceArg>& args) {
+  os << "{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << "\"" << JsonEscape(args[i].key) << "\":" << args[i].value;
+  }
+  os << "}";
+}
+
+bool WriteText(const std::string& text, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool ok = written == text.size() && std::fclose(file) == 0;
+  if (!ok && written != text.size()) {
+    std::fclose(file);
+  }
+  return ok;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const SpanTracer& tracer) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  const auto comma = [&]() {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n";
+  };
+  // Track metadata: names and a stable top-to-bottom order in the viewer.
+  const std::vector<std::string>& tracks = tracer.tracks();
+  for (size_t tid = 0; tid < tracks.size(); ++tid) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(tracks[tid])
+       << "\"}}";
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tid << "}}";
+  }
+  if (tracer.dropped() > 0) {
+    // A truncated trace must never be mistaken for a full one.
+    comma();
+    os << "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"s\":\"g\",\"name\":"
+       << "\"trace truncated: oldest spans dropped\",\"args\":{\"dropped\":"
+       << tracer.dropped() << "}}";
+  }
+  for (const TraceSpan& span : tracer.spans()) {
+    comma();
+    os << "{\"ph\":\"" << (span.phase == TraceSpan::Phase::kComplete ? "X" : "i")
+       << "\",\"pid\":0,\"tid\":" << span.track << ",\"ts\":" << TsMicros(span.start);
+    if (span.phase == TraceSpan::Phase::kComplete) {
+      os << ",\"dur\":" << TsMicros(span.duration);
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"cat\":\"sim\",\"name\":\"" << JsonEscape(span.name) << "\",\"args\":";
+    AppendArgs(os, span.args);
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool WriteChromeTraceJson(const SpanTracer& tracer, const std::string& path) {
+  return WriteText(ChromeTraceJson(tracer), path);
+}
+
+std::string MetricsJson(const MetricsRegistry& metrics) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : metrics.counters()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << counter.value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : metrics.gauges()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << gauge.value();
+    first = false;
+  }
+  os << "\n  },\n  \"summaries\": {";
+  first = true;
+  for (const auto& [name, summary] : metrics.summaries()) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {\"count\": "
+       << summary.count() << ", \"sum\": " << summary.sum() << ", \"min\": " << summary.min()
+       << ", \"max\": " << summary.max() << "}";
+    first = false;
+  }
+  os << "\n  }\n}";
+  return os.str();
+}
+
+bool WriteMetricsJson(const MetricsRegistry& metrics, const std::string& path) {
+  return WriteText(MetricsJson(metrics) + "\n", path);
+}
+
+std::string RunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo& info) {
+  std::ostringstream os;
+  os << "{\n\"run\": {\"scenario\": \"" << JsonEscape(info.scenario)
+     << "\", \"duration_s\": " << NumberJson(info.duration_s) << ", \"seed\": " << info.seed
+     << "},\n\"stats\": {";
+  for (size_t i = 0; i < info.stats.size(); ++i) {
+    os << (i > 0 ? "," : "") << "\n  \"" << JsonEscape(info.stats[i].first)
+       << "\": " << NumberJson(info.stats[i].second);
+  }
+  os << "\n},\n\"metrics\": " << MetricsJson(metrics) << "\n}\n";
+  return os.str();
+}
+
+bool WriteRunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo& info,
+                         const std::string& path) {
+  return WriteText(RunSummaryJson(metrics, info), path);
+}
+
+}  // namespace ctms

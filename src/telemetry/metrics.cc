@@ -1,0 +1,15 @@
+#include "src/telemetry/metrics.h"
+
+namespace ctms {
+
+size_t MetricsRegistry::CountersWithPrefix(const std::string& prefix) const {
+  size_t n = 0;
+  for (const auto& [name, counter] : counters_) {
+    if (name.rfind(prefix, 0) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ctms

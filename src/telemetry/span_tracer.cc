@@ -1,0 +1,44 @@
+#include "src/telemetry/span_tracer.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace ctms {
+
+TrackId SpanTracer::RegisterTrack(const std::string& name) {
+  tracks_.push_back(name);
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+void SpanTracer::AddComplete(TrackId track, std::string name, SimTime start,
+                             SimDuration duration, std::vector<TraceArg> args) {
+  if (!enabled_) {
+    return;
+  }
+  Append(TraceSpan{TraceSpan::Phase::kComplete, track, std::move(name), start, duration,
+                   std::move(args)});
+}
+
+void SpanTracer::AddInstant(TrackId track, std::string name, SimTime at,
+                            std::vector<TraceArg> args) {
+  if (!enabled_) {
+    return;
+  }
+  Append(TraceSpan{TraceSpan::Phase::kInstant, track, std::move(name), at, 0, std::move(args)});
+}
+
+void SpanTracer::Append(TraceSpan span) {
+  if (spans_.size() >= max_spans_) {
+    const size_t keep = max_spans_ / 2;
+    dropped_ += spans_.size() - keep;
+    spans_.erase(spans_.begin(), spans_.end() - static_cast<ptrdiff_t>(keep));
+  }
+  spans_.push_back(std::move(span));
+}
+
+void SpanTracer::Clear() {
+  spans_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace ctms

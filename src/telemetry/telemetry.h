@@ -1,0 +1,27 @@
+// The per-simulation telemetry context: one registry of metrics and one span tracer,
+// owned by the Simulation so every model object (all of which hold a Simulation*) can reach
+// them without plumbing.
+//
+// Invariants (the determinism contract):
+//   - telemetry reads SimTime only, never the wall clock;
+//   - recording costs zero simulated time and draws nothing from the RNG;
+//   - counters are always live (one integer add per event); the tracer is opt-in and
+//     callers that build span names/args guard on tracer.enabled() so the disabled path is
+//     a single predictable branch.
+
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span_tracer.h"
+
+namespace ctms {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

@@ -310,6 +310,16 @@ TEST(ExportTest, RejectsBadBinWidthAndBadPath) {
   EXPECT_FALSE(WriteSamplesCsv(hist, "/nonexistent-dir-zzz/x.csv"));
 }
 
+TEST(ExportTest, AllWritersReportUnwritablePath) {
+  Histogram hist("h");
+  hist.Add(Microseconds(1));
+  const std::string bad = "/nonexistent-dir-zzz/out.csv";
+  EXPECT_FALSE(WriteSamplesCsv(hist, bad));
+  EXPECT_FALSE(WriteBinnedCsv(hist, Microseconds(500), bad));
+  std::vector<ProbeEvent> events = {{ProbePoint::kPreTransmit, 1, Microseconds(10)}};
+  EXPECT_FALSE(WriteEventsCsv(events, bad));
+}
+
 TEST(ExportTest, PaperHistogramsWriteSevenFiles) {
   PaperHistograms histograms;
   histograms.pre_tx_to_rx.Add(Microseconds(10740));

@@ -278,5 +278,23 @@ TEST(TraceLogTest, CapacityEviction) {
   EXPECT_GT(log.dropped(), 0u);
 }
 
+TEST(TraceLogTest, DumpReportsDroppedRecords) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Append(i, "c", "m" + std::to_string(i));
+  }
+  ASSERT_GT(log.dropped(), 0u);
+  const std::string dump = log.Dump();
+  // The header announces the truncation so a capped log can't pass for a complete one.
+  EXPECT_EQ(dump.rfind("[" + std::to_string(log.dropped()) + " oldest records dropped", 0),
+            0u);
+
+  log.Clear();
+  log.Append(1, "c", "fresh");
+  EXPECT_EQ(log.Dump().find("dropped"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ctms

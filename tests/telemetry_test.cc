@@ -1,0 +1,409 @@
+// Telemetry subsystem: registry semantics, tracer capacity, JSON exporter structure and
+// escaping, and the end-to-end acceptance run — a short Test Case B with the tracer on must
+// yield counters in every layer namespace, CPU-step and ring-frame spans, valid JSON for
+// both artifacts, and byte-identical output across two same-seed runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/ctms.h"
+#include "src/telemetry/json_export.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span_tracer.h"
+
+namespace ctms {
+namespace {
+
+// --- a minimal recursive-descent JSON validator --------------------------------------------
+// Enough of RFC 8259 to catch structural breakage in the exporters (unbalanced brackets,
+// missing commas, bad escapes, bare tokens). Numbers are validated loosely.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != '}') {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != ']') {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() || !IsHex(s_[pos_ + i])) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() &&
+           (IsDigit(s_[pos_]) || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start && IsDigit(s_[pos_ - 1]);
+  }
+
+  bool Literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsHex(char c) {
+    return IsDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) { return JsonChecker(text).Valid(); }
+
+// --- registry ------------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, PointersAreStableAcrossInsertions) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("a.first");
+  first->Increment(3);
+  // Force rebalancing traffic; node-based storage must not move the slot.
+  for (int i = 0; i < 1000; ++i) {
+    registry.GetCounter("b.filler." + std::to_string(i));
+  }
+  EXPECT_EQ(first, registry.GetCounter("a.first"));
+  EXPECT_EQ(first->value(), 3u);
+}
+
+TEST(MetricsRegistryTest, CountersWithPrefixCountsNamespaces) {
+  MetricsRegistry registry;
+  registry.GetCounter("ring.frames");
+  registry.GetCounter("ring.bytes");
+  registry.GetCounter("driver.tr.tx.ctmsp_tx");
+  EXPECT_EQ(registry.CountersWithPrefix("ring."), 2u);
+  EXPECT_EQ(registry.CountersWithPrefix("driver."), 1u);
+  EXPECT_EQ(registry.CountersWithPrefix("nothing."), 0u);
+}
+
+TEST(MetricsRegistryTest, SummaryTracksBounds) {
+  MetricsRegistry registry;
+  Summary* s = registry.GetSummary("lat");
+  s->Observe(10);
+  s->Observe(-4);
+  s->Observe(6);
+  EXPECT_EQ(s->count(), 3u);
+  EXPECT_EQ(s->min(), -4);
+  EXPECT_EQ(s->max(), 10);
+  EXPECT_DOUBLE_EQ(s->Mean(), 4.0);
+}
+
+// --- tracer --------------------------------------------------------------------------------
+
+TEST(SpanTracerTest, DisabledByDefault) {
+  SpanTracer tracer;
+  const TrackId t = tracer.RegisterTrack("cpu");
+  tracer.AddComplete(t, "step", 0, 100);
+  tracer.AddInstant(t, "irq", 50);
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_EQ(tracer.tracks().size(), 1u);  // track metadata survives being disabled
+}
+
+TEST(SpanTracerTest, CapacityEvictionReportsDropped) {
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_capacity(16);
+  const TrackId t = tracer.RegisterTrack("cpu");
+  for (int i = 0; i < 100; ++i) {
+    tracer.AddComplete(t, "step", i * 10, 5);
+  }
+  EXPECT_LE(tracer.spans().size(), 16u);
+  EXPECT_GT(tracer.dropped(), 0u);
+  // A truncated trace must advertise itself in the export.
+  EXPECT_NE(ChromeTraceJson(tracer).find("dropped"), std::string::npos);
+}
+
+// --- JSON exporters ------------------------------------------------------------------------
+
+TEST(JsonExportTest, EscapesMetricNames) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+
+  MetricsRegistry registry;
+  registry.GetCounter("weird.\"name\"\\with\nbreaks")->Increment();
+  const std::string json = MetricsJson(registry);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\\\"name\\\""), std::string::npos);
+}
+
+TEST(JsonExportTest, ChromeTraceStructure) {
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  const TrackId cpu = tracer.RegisterTrack("cpu.tx");
+  const TrackId ring = tracer.RegisterTrack("ring");
+  tracer.AddComplete(cpu, "vca-intr", 1500, 2500, {{"seq", 7}});
+  tracer.AddInstant(ring, "ring_purge", 9000);
+
+  const std::string json = ChromeTraceJson(tracer);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // Track metadata names the Chrome threads.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu.tx\""), std::string::npos);
+  // One X complete and one i instant, microsecond timestamps with ns precision.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  // No truncation marker on an uncapped trace.
+  EXPECT_EQ(json.find("dropped"), std::string::npos);
+}
+
+TEST(JsonExportTest, RunSummaryShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.events_executed")->Increment(42);
+  registry.GetGauge("kern.tx.mbuf.level")->Set(-3);
+  registry.GetSummary("ring.latency")->Observe(100);
+
+  RunSummaryInfo info;
+  info.scenario = "test-case-b";
+  info.duration_s = 30.0;
+  info.seed = 1;
+  info.stats = {{"packets_built", 833.0}, {"ring_utilization", 0.253}};
+  const std::string json = RunSummaryJson(registry, info);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"scenario\": \"test-case-b\""), std::string::npos);
+  EXPECT_NE(json.find("\"packets_built\": 833"), std::string::npos);
+  EXPECT_NE(json.find("\"sim.events_executed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"kern.tx.mbuf.level\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"ring.latency\""), std::string::npos);
+}
+
+TEST(JsonExportTest, WritersFailOnUnwritablePath) {
+  MetricsRegistry registry;
+  SpanTracer tracer;
+  RunSummaryInfo info;
+  EXPECT_FALSE(WriteMetricsJson(registry, "/no-such-dir/metrics.json"));
+  EXPECT_FALSE(WriteChromeTraceJson(tracer, "/no-such-dir/trace.json"));
+  EXPECT_FALSE(WriteRunSummaryJson(registry, info, "/no-such-dir/summary.json"));
+}
+
+TEST(JsonExportTest, WritersRoundTripToDisk) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.events_executed")->Increment(5);
+  const std::string path = ::testing::TempDir() + "telemetry_roundtrip.json";
+  ASSERT_TRUE(WriteMetricsJson(registry, path));
+  std::string content;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, MetricsJson(registry) + "\n");
+}
+
+// --- end-to-end acceptance -----------------------------------------------------------------
+
+ScenarioConfig ShortTestCaseB() {
+  ScenarioConfig config = TestCaseB();
+  config.duration = Seconds(2);
+  return config;
+}
+
+TEST(TelemetryAcceptanceTest, ScenarioBCoversEveryLayer) {
+  CtmsExperiment experiment(ShortTestCaseB());
+  experiment.sim().telemetry().tracer.set_enabled(true);
+  experiment.Run();
+
+  const MetricsRegistry& metrics = experiment.sim().telemetry().metrics;
+  // The paper's point: the stream crosses every layer. So must the counters.
+  EXPECT_GE(metrics.CountersWithPrefix("ring."), 1u);
+  EXPECT_GE(metrics.CountersWithPrefix("driver."), 1u);
+  EXPECT_GE(metrics.CountersWithPrefix("kern."), 1u);
+  EXPECT_GE(metrics.CountersWithPrefix("cpu."), 1u);
+  EXPECT_GE(metrics.CountersWithPrefix("sim."), 1u);
+
+  size_t nonzero = 0;
+  for (const auto& [name, counter] : metrics.counters()) {
+    if (counter.value() > 0) {
+      ++nonzero;
+    }
+  }
+  EXPECT_GE(nonzero, 15u) << "expected a populated registry after a scenario-B run";
+
+  // The tracer saw CPU job steps and ring frames.
+  const SpanTracer& tracer = experiment.sim().telemetry().tracer;
+  bool cpu_step = false;
+  bool ring_frame = false;
+  for (const TraceSpan& span : tracer.spans()) {
+    if (span.phase == TraceSpan::Phase::kComplete) {
+      const std::string& track = tracer.tracks()[static_cast<size_t>(span.track)];
+      if (span.name == "frame" && track == "ring") {
+        ring_frame = true;
+      }
+      if (track.rfind("cpu.", 0) == 0) {
+        cpu_step = true;
+      }
+    }
+  }
+  EXPECT_TRUE(cpu_step);
+  EXPECT_TRUE(ring_frame);
+
+  // Both artifacts are well-formed JSON.
+  EXPECT_TRUE(IsValidJson(MetricsJson(metrics)));
+  EXPECT_TRUE(IsValidJson(ChromeTraceJson(tracer)));
+}
+
+TEST(TelemetryAcceptanceTest, SameSeedRunsAreByteIdentical) {
+  auto run = [](std::string* metrics_json, std::string* trace_json) {
+    CtmsExperiment experiment(ShortTestCaseB());
+    experiment.sim().telemetry().tracer.set_enabled(true);
+    experiment.Run();
+    *metrics_json = MetricsJson(experiment.sim().telemetry().metrics);
+    *trace_json = ChromeTraceJson(experiment.sim().telemetry().tracer);
+  };
+  std::string metrics_a, trace_a, metrics_b, trace_b;
+  run(&metrics_a, &trace_a);
+  run(&metrics_b, &trace_b);
+  EXPECT_EQ(metrics_a, metrics_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+}  // namespace
+}  // namespace ctms

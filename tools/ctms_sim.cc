@@ -21,6 +21,7 @@
 
 #include "src/core/ctms.h"
 #include "src/measure/export.h"
+#include "src/telemetry/json_export.h"
 
 namespace {
 
@@ -46,6 +47,9 @@ struct Options {
   std::string csv_prefix;
   std::string trace_path;
   bool ground_truth_output = false;
+  std::string metrics_json;
+  std::string trace_json;
+  bool print_metrics = false;
 };
 
 void PrintUsage() {
@@ -72,7 +76,10 @@ void PrintUsage() {
       "  --histogram=1..7      render a paper histogram as ASCII\n"
       "  --bin-us=N            histogram bin width (default 500)\n"
       "  --ground-truth        render histograms from the perfect observer\n"
-      "  --csv-prefix=PATH     export all seven histograms as PATH_histN.csv\n");
+      "  --csv-prefix=PATH     export all seven histograms as PATH_histN.csv\n"
+      "  --metrics-json=FILE   write the run summary + full metrics registry as JSON\n"
+      "  --trace-json=FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n"
+      "  --print-metrics       print every telemetry counter after the run\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string* value) {
@@ -103,6 +110,8 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->retransmit = true;
     } else if (arg == "--ground-truth") {
       options->ground_truth_output = true;
+    } else if (arg == "--print-metrics") {
+      options->print_metrics = true;
     } else if (ParseFlag(arg, "scenario", &value)) {
       options->scenario = value;
     } else if (ParseFlag(arg, "duration", &value)) {
@@ -129,17 +138,86 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       options->csv_prefix = value;
     } else if (ParseFlag(arg, "trace", &value)) {
       options->trace_path = value;
+    } else if (ParseFlag(arg, "metrics-json", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--metrics-json requires a file path (try --help)\n");
+        return false;
+      }
+      options->metrics_json = value;
+    } else if (ParseFlag(arg, "trace-json", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--trace-json requires a file path (try --help)\n");
+        return false;
+      }
+      options->trace_json = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
     }
   }
-  if (options->duration_s <= 0 || options->packet_bytes <= 0 || options->period_ms <= 0 ||
-      options->histogram < 0 || options->histogram > 7) {
-    std::fprintf(stderr, "invalid option values (try --help)\n");
+  if (options->duration_s <= 0) {
+    std::fprintf(stderr, "--duration must be a positive number of seconds (try --help)\n");
+    return false;
+  }
+  if (options->packet_bytes <= 0) {
+    std::fprintf(stderr, "--packet-bytes must be positive (try --help)\n");
+    return false;
+  }
+  if (options->period_ms <= 0) {
+    std::fprintf(stderr, "--period-ms must be positive (try --help)\n");
+    return false;
+  }
+  if (options->histogram < 0 || options->histogram > 7) {
+    std::fprintf(stderr, "--histogram must be between 1 and 7, or 0 for none (try --help)\n");
+    return false;
+  }
+  if (options->scenario != "A" && options->scenario != "B") {
+    std::fprintf(stderr, "unknown --scenario=%s (expected A or B; try --help)\n",
+                 options->scenario.c_str());
+    return false;
+  }
+  if (options->memory != "iocm" && options->memory != "system") {
+    std::fprintf(stderr, "unknown --memory=%s (expected iocm or system; try --help)\n",
+                 options->memory.c_str());
+    return false;
+  }
+  if (options->method != "pcat" && options->method != "rtpc" && options->method != "logic" &&
+      options->method != "truth") {
+    std::fprintf(stderr, "unknown --method=%s (expected pcat, rtpc, logic or truth; try --help)\n",
+                 options->method.c_str());
     return false;
   }
   return true;
+}
+
+// Post-run telemetry output shared by the CTMS and baseline paths. Returns false if a
+// requested file could not be written.
+bool EmitTelemetry(const Options& options, Simulation& sim, const RunSummaryInfo& info) {
+  bool ok = true;
+  if (options.print_metrics) {
+    std::printf("telemetry counters:\n");
+    for (const auto& [name, counter] : sim.telemetry().metrics.counters()) {
+      std::printf("  %-48s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    }
+  }
+  if (!options.trace_json.empty()) {
+    if (WriteChromeTraceJson(sim.telemetry().tracer, options.trace_json)) {
+      std::printf("wrote %s\n", options.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.trace_json.c_str());
+      ok = false;
+    }
+  }
+  if (!options.metrics_json.empty()) {
+    if (WriteRunSummaryJson(sim.telemetry().metrics, info, options.metrics_json)) {
+      std::printf("wrote %s\n", options.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_json.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 const Histogram* SelectHistogram(const PaperHistograms& histograms, int number) {
@@ -173,11 +251,21 @@ int RunBaseline(const Options& options) {
   config.dma_buffer_kind = options.memory == "system" ? MemoryKind::kSystemMemory
                                                       : MemoryKind::kIoChannelMemory;
   BaselineExperiment experiment(config);
+  if (!options.trace_json.empty()) {
+    experiment.sim().telemetry().tracer.set_enabled(true);
+  }
   const BaselineReport report = experiment.Run();
   std::cout << report.Summary();
   if (!options.csv_prefix.empty()) {
     WriteSamplesCsv(report.end_to_end_latency, options.csv_prefix + "_latency.csv");
     std::printf("wrote %s_latency.csv\n", options.csv_prefix.c_str());
+  }
+  RunSummaryInfo info;
+  info.scenario = options.tcp ? "baseline-tcp" : "baseline-udp";
+  info.duration_s = static_cast<double>(options.duration_s);
+  info.seed = options.seed;
+  if (!EmitTelemetry(options, experiment.sim(), info)) {
+    return 1;
   }
   return report.Sustained() ? 0 : 2;
 }
@@ -206,6 +294,9 @@ int RunCtms(const Options& options) {
   }
 
   CtmsExperiment experiment(config);
+  if (!options.trace_json.empty()) {
+    experiment.sim().telemetry().tracer.set_enabled(true);
+  }
   std::unique_ptr<TraceReplayTraffic> trace;
   if (!options.trace_path.empty()) {
     int error_line = 0;
@@ -240,6 +331,28 @@ int RunCtms(const Options& options) {
   if (!options.csv_prefix.empty()) {
     const int written = WritePaperHistogramsCsv(source, options.csv_prefix);
     std::printf("wrote %d CSV files with prefix %s\n", written, options.csv_prefix.c_str());
+  }
+  RunSummaryInfo info;
+  info.scenario = config.name;
+  info.duration_s = static_cast<double>(options.duration_s);
+  info.seed = options.seed;
+  info.stats = {
+      {"packets_built", static_cast<double>(report.packets_built)},
+      {"packets_delivered", static_cast<double>(report.packets_delivered)},
+      {"packets_lost", static_cast<double>(report.packets_lost)},
+      {"duplicates", static_cast<double>(report.duplicates)},
+      {"out_of_order", static_cast<double>(report.out_of_order)},
+      {"retransmissions", static_cast<double>(report.retransmissions)},
+      {"sink_underruns", static_cast<double>(report.sink_underruns)},
+      {"sink_peak_buffer_bytes", static_cast<double>(report.sink_peak_buffer)},
+      {"tx_cpu_utilization", report.tx_cpu_utilization},
+      {"rx_cpu_utilization", report.rx_cpu_utilization},
+      {"ring_utilization", report.ring_utilization},
+      {"ring_purges", static_cast<double>(report.ring_purges)},
+      {"ring_insertions", static_cast<double>(report.ring_insertions)},
+  };
+  if (!EmitTelemetry(options, experiment.sim(), info)) {
+    return 1;
   }
   const bool healthy = report.packets_lost == 0 && report.sink_underruns == 0;
   return healthy ? 0 : 2;
