@@ -9,177 +9,137 @@ namespace {
 
 constexpr uint16_t kStreamPort = 6000;
 
-TokenRingAdapter::Config StockAdapterConfig(const BaselineConfig& config) {
-  TokenRingAdapter::Config adapter;
-  adapter.dma_buffer_kind = config.dma_buffer_kind;
-  return adapter;
-}
-
-TokenRingDriver::Config StockDriverConfig() {
-  TokenRingDriver::Config driver;
-  driver.ctms_mode = false;  // plain 4.3BSD driver: one FIFO queue, no split point
-  return driver;
+Station::PortConfig StockPortConfig(const BaselineConfig& config) {
+  Station::PortConfig port;
+  port.adapter.dma_buffer_kind = config.dma_buffer_kind;
+  port.driver.ctms_mode = false;  // plain 4.3BSD driver: one FIFO queue, no split point
+  return port;
 }
 
 }  // namespace
 
 BaselineExperiment::BaselineExperiment(BaselineConfig config)
-    : config_(std::move(config)),
-      sim_(config_.seed),
-      ring_(&sim_),
-      tx_machine_(&sim_, "tx"),
-      rx_machine_(&sim_, "rx"),
-      tx_kernel_(&tx_machine_),
-      rx_kernel_(&rx_machine_),
-      tx_adapter_(&tx_machine_, &ring_, StockAdapterConfig(config_)),
-      rx_adapter_(&rx_machine_, &ring_, StockAdapterConfig(config_)),
-      tx_driver_(&tx_kernel_, &tx_adapter_, &probes_, StockDriverConfig()),
-      rx_driver_(&rx_kernel_, &rx_adapter_, &probes_, StockDriverConfig()),
-      tx_arp_(&tx_kernel_, &tx_driver_),
-      rx_arp_(&rx_kernel_, &rx_driver_),
-      tx_ip_(&tx_kernel_, &tx_driver_, &tx_arp_),
-      rx_ip_(&rx_kernel_, &rx_driver_, &rx_arp_),
-      tx_udp_(&tx_kernel_, &tx_ip_),
-      rx_udp_(&rx_kernel_, &rx_ip_),
-      source_(&tx_kernel_, &tx_driver_, &probes_, nullptr,
-              [this]() {
-                VcaSourceDriver::Config c;
-                c.packet_bytes = config_.packet_bytes;
-                c.period = config_.packet_period;
-                return c;
-              }()),
-      sink_(&rx_kernel_, nullptr,
-            [this]() {
-              VcaSinkDriver::Config c;
-              c.copy_to_device = true;
-              // The stock path drives the unmodified byte-wide card interface (the paper's
-              // footnote 3 adapter); the CTMS driver's 16-bit transfers halve this.
-              c.device_copy_per_byte = Microseconds(2);
-              c.playout_bytes = config_.packet_bytes;
-              c.playout_period = config_.packet_period;
-              // The stock path's delivery jitter (relay scheduling, TCP windows) needs a
-              // deeper playout prime than the CTMS path.
-              c.prime_packets = 5;
-              return c;
-            }()) {
-  ring_.AddPassiveStations(config_.public_network ? 67 : 1);
+    : config_(std::move(config)), topo_(config_.seed) {
+  TokenRing& ring = topo_.AddRing();
+  tx_ = &topo_.AddStation("tx");
+  tx_->AttachRing(&ring, &topo_.probes(), StockPortConfig(config_));
+  tx_->InstallIpStack();
+  rx_ = &topo_.AddStation("rx");
+  rx_->AttachRing(&ring, &topo_.probes(), StockPortConfig(config_));
+  rx_->InstallIpStack();
 
-  tx_driver_.SetIpInput([this](const Packet& packet) { tx_ip_.Input(packet); });
-  rx_driver_.SetIpInput([this](const Packet& packet) { rx_ip_.Input(packet); });
-  tx_driver_.SetArpInput([this](const Packet& packet) { tx_arp_.Input(packet); });
-  rx_driver_.SetArpInput([this](const Packet& packet) { rx_arp_.Input(packet); });
-  tx_arp_.InstallStatic(rx_adapter_.address());
-  rx_arp_.InstallStatic(tx_adapter_.address());
+  StreamEndpoints::Config endpoints;
+  endpoints.use_ctmsp = false;  // the relay processes carry the stream, not CTMSP
+  endpoints.source.packet_bytes = config_.packet_bytes;
+  endpoints.source.period = config_.packet_period;
+  endpoints.sink.copy_to_device = true;
+  // The stock path drives the unmodified byte-wide card interface (the paper's footnote 3
+  // adapter); the CTMS driver's 16-bit transfers halve this.
+  endpoints.sink.device_copy_per_byte = Microseconds(2);
+  endpoints.sink.playout_bytes = config_.packet_bytes;
+  endpoints.sink.playout_period = config_.packet_period;
+  // The stock path's delivery jitter (relay scheduling, TCP windows) needs a deeper playout
+  // prime than the CTMS path.
+  endpoints.sink.prime_packets = 5;
+  stream_ = std::make_unique<StreamEndpoints>(tx_, rx_, &topo_.probes(), endpoints);
+
+  ring.AddPassiveStations(config_.public_network ? 67 : 1);
+
+  tx_->ip_stack()->arp.InstallStatic(rx_->address());
+  rx_->ip_stack()->arp.InstallStatic(tx_->address());
 
   if (config_.use_tcp) {
-    tx_tcp_ = std::make_unique<TcpLite>(&tx_kernel_, &tx_ip_);
-    rx_tcp_ = std::make_unique<TcpLite>(&rx_kernel_, &rx_ip_);
+    tx_tcp_ = std::make_unique<TcpLite>(&tx_->kernel(), &tx_->ip_stack()->ip);
+    rx_tcp_ = std::make_unique<TcpLite>(&rx_->kernel(), &rx_->ip_stack()->ip);
     TcpLiteEndpoint::Config tx_cfg;
     tx_cfg.local_port = kStreamPort;
     tx_cfg.remote_port = kStreamPort;
-    tx_cfg.remote = rx_adapter_.address();
+    tx_cfg.remote = rx_->address();
     tx_tcp_endpoint_ = tx_tcp_->CreateEndpoint(tx_cfg);
     TcpLiteEndpoint::Config rx_cfg = tx_cfg;
-    rx_cfg.remote = tx_adapter_.address();
+    rx_cfg.remote = tx_->address();
     rx_tcp_endpoint_ = rx_tcp_->CreateEndpoint(rx_cfg);
   }
 
   // The transmit-side relay: read() from the media device, write() to the stream socket.
   tx_relay_ = std::make_unique<RelayProcess>(
-      &tx_kernel_, "tx-relay", RelayProcess::Config{}, [this](const Packet& packet) {
+      &tx_->kernel(), "tx-relay", RelayProcess::Config{}, [this](const Packet& packet) {
         if (config_.use_tcp) {
           tx_tcp_endpoint_->Send(packet.bytes);
           return;
         }
         Packet datagram = packet;
         datagram.protocol = ProtocolId::kNone;
-        datagram.dst = rx_adapter_.address();
+        datagram.dst = rx_->address();
         datagram.port = kStreamPort;
         datagram.chain.reset();  // write() re-buffers; the relay's copyin was charged already
-        tx_udp_.Output(datagram);
+        tx_->ip_stack()->udp.Output(datagram);
       });
 
   // The receive-side relay: read() from the stream socket, write() to the audio device.
   rx_relay_ = std::make_unique<RelayProcess>(
-      &rx_kernel_, "rx-relay", RelayProcess::Config{}, [this](const Packet& packet) {
-        sink_.OnCtmspDeliver(packet, /*in_dma_buffer=*/false, []() {});
+      &rx_->kernel(), "rx-relay", RelayProcess::Config{}, [this](const Packet& packet) {
+        stream_->sink().OnCtmspDeliver(packet, /*in_dma_buffer=*/false, []() {});
       });
 
   if (config_.use_tcp) {
     rx_tcp_endpoint_->SetDeliver([this](const Packet& packet) { rx_relay_->Deliver(packet); });
   } else {
-    rx_udp_.Bind(kStreamPort, [this](const Packet& packet) { rx_relay_->Deliver(packet); });
+    rx_->ip_stack()->udp.Bind(kStreamPort,
+                              [this](const Packet& packet) { rx_relay_->Deliver(packet); });
   }
 
-  tx_activity_ = std::make_unique<KernelBackgroundActivity>(&tx_machine_, sim_.rng().Fork());
-  rx_activity_ = std::make_unique<KernelBackgroundActivity>(&rx_machine_, sim_.rng().Fork());
-  mac_traffic_ = std::make_unique<MacFrameTraffic>(&ring_, sim_.rng().Fork(),
-                                                   MacFrameTraffic::Config{0.004});
+  tx_->AttachBackgroundActivity(topo_.sim().rng().Fork());
+  rx_->AttachBackgroundActivity(topo_.sim().rng().Fork());
+  BackgroundEnvironment& env = topo_.environment();
+  env.AddMacTraffic(&ring, MacFrameTraffic::Config{0.004});
   if (config_.public_network) {
-    GhostTraffic::Config keepalive;
-    keepalive.interarrival_mean = Milliseconds(90);
-    ghosts_.push_back(std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), keepalive));
-    GhostTraffic::Config transfer;
-    transfer.interarrival_mean = Milliseconds(1200);
-    transfer.min_bytes = 1522;
-    transfer.max_bytes = 1522;
-    transfer.burst_min = 4;
-    transfer.burst_max = 16;
-    transfer.burst_spacing = Microseconds(3300);
-    ghosts_.push_back(std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), transfer));
+    env.AddKeepaliveChatter(&ring, Milliseconds(90));
+    env.AddTransferBursts(&ring, Milliseconds(1200));
   }
-}
-
-BaselineExperiment::~BaselineExperiment() {
-  // Queued CPU jobs hold mbuf chains owned by the kernels; drain before members destruct.
-  tx_machine_.cpu().CancelAll();
-  rx_machine_.cpu().CancelAll();
 }
 
 BaselineReport BaselineExperiment::Run() {
-  tx_machine_.StartHardclock();
-  rx_machine_.StartHardclock();
+  tx_->StartHardclock();
+  rx_->StartHardclock();
+  BackgroundEnvironment& env = topo_.environment();
   if (config_.timesharing) {
-    tx_competing_ = std::make_unique<CompetingProcess>(&tx_kernel_, "timeshare-tx",
-                                                       CompetingProcess::Config{});
-    rx_competing_ = std::make_unique<CompetingProcess>(&rx_kernel_, "timeshare-rx",
-                                                       CompetingProcess::Config{});
-    tx_competing_->Start();
-    rx_competing_->Start();
+    env.AddCompetingProcess(&tx_->kernel(), "timeshare-tx");
+    env.AddCompetingProcess(&rx_->kernel(), "timeshare-rx");
+    env.StartCompeting();
   }
-  tx_activity_->Start();
-  rx_activity_->Start();
-  mac_traffic_->Start();
-  for (auto& ghost : ghosts_) {
-    ghost->Start();
-  }
-  source_.Start(VcaSourceDriver::OutputMode::kDeliverToProcess, rx_adapter_.address(),
-                [this](const Packet& packet) { tx_relay_->Deliver(packet); });
-  sim_.RunFor(config_.duration);
-  source_.Stop();
+  tx_->StartActivity();
+  rx_->StartActivity();
+  env.StartMacTraffic();
+  env.StartGhosts();
+  stream_->vca_source().Start(VcaSourceDriver::OutputMode::kDeliverToProcess, rx_->address(),
+                              [this](const Packet& packet) { tx_relay_->Deliver(packet); });
+  topo_.sim().RunFor(config_.duration);
+  stream_->vca_source().Stop();
 
   BaselineReport report;
   report.config = config_;
   report.offered_kbytes_per_sec = config_.OfferedKBytesPerSecond();
-  report.packets_captured = source_.packets_built();
-  report.packets_delivered = sink_.packets_accepted();
+  const StreamStats stats = stream_->Stats();
+  report.packets_captured = stats.built;
+  report.packets_delivered = stats.delivered;
   const double seconds = ToSecondsF(config_.duration);
   report.delivered_kbytes_per_sec =
-      static_cast<double>(sink_.packets_accepted() * static_cast<uint64_t>(config_.packet_bytes)) /
+      static_cast<double>(stats.delivered * static_cast<uint64_t>(config_.packet_bytes)) /
       (seconds * 1000.0);
-  report.source_mbuf_drops = source_.mbuf_drops();
+  report.source_mbuf_drops = stats.mbuf_drops;
   report.tx_relay_rcvbuf_drops = tx_relay_->dropped_rcvbuf();
-  report.tx_ifsnd_drops = tx_driver_.snd_queue().drops();
-  report.rx_ipintr_drops = rx_driver_.ipintr_queue().drops();
+  report.tx_ifsnd_drops = tx_->driver().snd_queue().drops();
+  report.rx_ipintr_drops = rx_->driver().ipintr_queue().drops();
   report.rx_relay_rcvbuf_drops = rx_relay_->dropped_rcvbuf();
-  report.rx_adapter_overruns = rx_adapter_.rx_overruns();
+  report.rx_adapter_overruns = rx_->adapter().rx_overruns();
   report.tcp_retransmits =
       tx_tcp_endpoint_ != nullptr ? tx_tcp_endpoint_->retransmits() : 0;
-  report.sink_underruns = sink_.underruns();
-  report.end_to_end_latency = sink_.latency();
-  report.tx_cpu_utilization = tx_machine_.cpu().Utilization();
-  report.rx_cpu_utilization = rx_machine_.cpu().Utilization();
-  report.ring_utilization = ring_.Utilization();
+  report.sink_underruns = stats.underruns;
+  report.end_to_end_latency = stream_->sink().latency();
+  report.tx_cpu_utilization = tx_->machine().cpu().Utilization();
+  report.rx_cpu_utilization = rx_->machine().cpu().Utilization();
+  report.ring_utilization = topo_.ring().Utilization();
   return report;
 }
 

@@ -13,21 +13,13 @@
 #include <memory>
 #include <string>
 
-#include "src/dev/tr_driver.h"
-#include "src/dev/vca.h"
-#include "src/hw/machine.h"
 #include "src/kern/process.h"
-#include "src/kern/unix_kernel.h"
-#include "src/measure/tap.h"
-#include "src/proto/arp.h"
-#include "src/proto/ip.h"
 #include "src/proto/tcp_lite.h"
-#include "src/proto/udp.h"
-#include "src/ring/adapter.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
-#include "src/workload/kernel_activity.h"
-#include "src/workload/ring_traffic.h"
+#include "src/testbed/station.h"
+#include "src/testbed/stream.h"
+#include "src/testbed/topology.h"
 
 namespace ctms {
 
@@ -88,49 +80,27 @@ class BaselineExperiment {
 
   BaselineExperiment(const BaselineExperiment&) = delete;
   BaselineExperiment& operator=(const BaselineExperiment&) = delete;
-  ~BaselineExperiment();
 
   BaselineReport Run();
 
-  Simulation& sim() { return sim_; }
-  TokenRing& ring() { return ring_; }
+  Simulation& sim() { return topo_.sim(); }
+  TokenRing& ring() { return topo_.ring(); }
+  RingTopology& topology() { return topo_; }
 
  private:
   BaselineConfig config_;
-  Simulation sim_;
-  TokenRing ring_;
-  Machine tx_machine_;
-  Machine rx_machine_;
-  UnixKernel tx_kernel_;
-  UnixKernel rx_kernel_;
-  TokenRingAdapter tx_adapter_;
-  TokenRingAdapter rx_adapter_;
-  ProbeBus probes_;  // unused by the stock path but the driver wants one
-  TokenRingDriver tx_driver_;
-  TokenRingDriver rx_driver_;
+  RingTopology topo_;
+  Station* tx_ = nullptr;
+  Station* rx_ = nullptr;
 
-  ArpLayer tx_arp_;
-  ArpLayer rx_arp_;
-  IpLayer tx_ip_;
-  IpLayer rx_ip_;
-  UdpLayer tx_udp_;
-  UdpLayer rx_udp_;
   std::unique_ptr<TcpLite> tx_tcp_;
   std::unique_ptr<TcpLite> rx_tcp_;
   TcpLiteEndpoint* tx_tcp_endpoint_ = nullptr;
   TcpLiteEndpoint* rx_tcp_endpoint_ = nullptr;
 
-  VcaSourceDriver source_;
+  std::unique_ptr<StreamEndpoints> stream_;  // raw source + sink; no CTMSP layer
   std::unique_ptr<RelayProcess> tx_relay_;
   std::unique_ptr<RelayProcess> rx_relay_;
-  VcaSinkDriver sink_;
-
-  std::unique_ptr<KernelBackgroundActivity> tx_activity_;
-  std::unique_ptr<KernelBackgroundActivity> rx_activity_;
-  std::unique_ptr<MacFrameTraffic> mac_traffic_;
-  std::vector<std::unique_ptr<GhostTraffic>> ghosts_;
-  std::unique_ptr<CompetingProcess> tx_competing_;
-  std::unique_ptr<CompetingProcess> rx_competing_;
 };
 
 }  // namespace ctms

@@ -57,6 +57,9 @@
 #include "src/sim/rng.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
+#include "src/testbed/station.h"
+#include "src/testbed/stream.h"
+#include "src/testbed/topology.h"
 #include "src/workload/host_service.h"
 #include "src/workload/kernel_activity.h"
 #include "src/workload/ring_traffic.h"

@@ -13,20 +13,43 @@ TokenRing::Config RingConfig(const ScenarioConfig& config) {
   return ring;  // station count is added via AddPassiveStations
 }
 
-TokenRingAdapter::Config AdapterConfig(const ScenarioConfig& config) {
-  TokenRingAdapter::Config adapter;
-  adapter.dma_buffer_kind = config.dma_buffer_kind;
-  return adapter;
+Station::PortConfig PortConfig(const ScenarioConfig& config) {
+  Station::PortConfig port;
+  port.adapter.dma_buffer_kind = config.dma_buffer_kind;
+  port.driver.ctms_mode = true;
+  port.driver.driver_priority = config.driver_priority;
+  port.driver.ctmsp_ring_priority = config.ring_priority;
+  port.driver.rx_copy_ctmsp_to_mbufs = config.rx_copy_dma_to_mbufs;
+  port.driver.zero_copy_tx = config.tx_zero_copy;
+  return port;
 }
 
-TokenRingDriver::Config DriverConfig(const ScenarioConfig& config) {
-  TokenRingDriver::Config driver;
-  driver.ctms_mode = true;
-  driver.driver_priority = config.driver_priority;
-  driver.ctmsp_ring_priority = config.ring_priority;
-  driver.rx_copy_ctmsp_to_mbufs = config.rx_copy_dma_to_mbufs;
-  driver.zero_copy_tx = config.tx_zero_copy;
-  return driver;
+StreamEndpoints::Config StreamConfig(const ScenarioConfig& config) {
+  StreamEndpoints::Config stream;
+  stream.connection.ring_priority = config.ring_priority;
+  stream.connection.driver_priority = config.driver_priority;
+  stream.connection.retransmit_on_purge = config.retransmit_on_purge;
+  // The receiver only needs the transmit side's address; peer 0 is auto-filled.
+  stream.receiver_connection = CtmspConnectionConfig{};
+  stream.source.packet_bytes = config.packet_bytes;
+  stream.source.period = config.packet_period;
+  stream.source.copy_device_data = config.tx_copy_vca_to_mbufs;
+  if (config.compression_ratio > 1) {
+    stream.source.compression = config.compress_on_host
+                                    ? VcaSourceDriver::CompressionSite::kHost
+                                    : VcaSourceDriver::CompressionSite::kDsp;
+    stream.source.compression_ratio = config.compression_ratio;
+  }
+  stream.source.vbr = config.vbr;
+  stream.sink.copy_to_device = config.rx_copy_mbufs_to_device;
+  // Playout consumes the mean transported rate (compression shrinks it).
+  stream.sink.playout_bytes = config.compression_ratio > 1
+                                  ? config.packet_bytes / config.compression_ratio
+                                  : config.packet_bytes;
+  stream.sink.playout_period = config.packet_period;
+  stream.sink.prime_packets = config.jitter_buffer_packets;
+  stream.sink.adaptive = config.adaptive_jitter_buffer;
+  return stream;
 }
 
 SimDuration InlineProbeCost(MeasurementMethod method) {
@@ -45,110 +68,56 @@ SimDuration InlineProbeCost(MeasurementMethod method) {
 }  // namespace
 
 CtmsExperiment::CtmsExperiment(ScenarioConfig config)
-    : config_(std::move(config)),
-      sim_(config_.seed),
-      ring_(&sim_, RingConfig(config_)),
-      tx_machine_(&sim_, "tx"),
-      rx_machine_(&sim_, "rx"),
-      tx_kernel_(&tx_machine_),
-      rx_kernel_(&rx_machine_),
-      tx_adapter_(&tx_machine_, &ring_, AdapterConfig(config_)),
-      rx_adapter_(&rx_machine_, &ring_, AdapterConfig(config_)),
-      tx_driver_(&tx_kernel_, &tx_adapter_, &probes_, DriverConfig(config_)),
-      rx_driver_(&rx_kernel_, &rx_adapter_, &probes_, DriverConfig(config_)),
-      tx_arp_(&tx_kernel_, &tx_driver_),
-      rx_arp_(&rx_kernel_, &rx_driver_),
-      tx_ip_(&tx_kernel_, &tx_driver_, &tx_arp_),
-      rx_ip_(&rx_kernel_, &rx_driver_, &rx_arp_),
-      tx_udp_(&tx_kernel_, &tx_ip_),
-      rx_udp_(&rx_kernel_, &rx_ip_),
-      transmitter_([this]() {
-        CtmspConnectionConfig c;
-        c.peer = rx_adapter_.address();
-        c.ring_priority = config_.ring_priority;
-        c.driver_priority = config_.driver_priority;
-        c.retransmit_on_purge = config_.retransmit_on_purge;
-        return c;
-      }()),
-      receiver_([this]() {
-        CtmspConnectionConfig c;
-        c.peer = tx_adapter_.address();
-        return c;
-      }()),
-      source_(&tx_kernel_, &tx_driver_, &probes_, &transmitter_,
-              [this]() {
-                VcaSourceDriver::Config c;
-                c.packet_bytes = config_.packet_bytes;
-                c.period = config_.packet_period;
-                c.copy_device_data = config_.tx_copy_vca_to_mbufs;
-                if (config_.compression_ratio > 1) {
-                  c.compression = config_.compress_on_host
-                                      ? VcaSourceDriver::CompressionSite::kHost
-                                      : VcaSourceDriver::CompressionSite::kDsp;
-                  c.compression_ratio = config_.compression_ratio;
-                }
-                c.vbr = config_.vbr;
-                return c;
-              }()),
-      sink_(&rx_kernel_, &receiver_,
-            [this]() {
-              VcaSinkDriver::Config c;
-              c.copy_to_device = config_.rx_copy_mbufs_to_device;
-              // Playout consumes the mean transported rate (compression shrinks it).
-              c.playout_bytes = config_.compression_ratio > 1
-                                    ? config_.packet_bytes / config_.compression_ratio
-                                    : config_.packet_bytes;
-              c.playout_period = config_.packet_period;
-              c.prime_packets = config_.jitter_buffer_packets;
-              c.adaptive = config_.adaptive_jitter_buffer;
-              return c;
-            }()),
-      ground_truth_(&probes_),
-      tap_(&ring_) {
+    : config_(std::move(config)), topo_(config_.seed) {
+  TokenRing& ring = topo_.AddRing(RingConfig(config_));
+  tx_ = &topo_.AddStation("tx");
+  rx_ = &topo_.AddStation("rx");
+  tx_->AttachRing(&ring, &topo_.probes(), PortConfig(config_));
+  rx_->AttachRing(&ring, &topo_.probes(), PortConfig(config_));
+  tx_->InstallIpStack();
+  rx_->InstallIpStack();
+
+  stream_ = std::make_unique<StreamEndpoints>(tx_, rx_, &topo_.probes(),
+                                              StreamConfig(config_));
+
+  ground_truth_ = std::make_unique<GroundTruthRecorder>(&topo_.probes());
+  tap_ = std::make_unique<TapMonitor>(&ring);
+
   // Ring population: ours plus TAP's station, then enough passive stations for the
   // environment (the ITC ring had ~70 machines; a private lab ring just a handful).
-  ring_.AddPassiveStations(config_.public_network ? 67 : 1);
+  ring.AddPassiveStations(config_.public_network ? 67 : 1);
 
-  probes_.set_inline_cost(InlineProbeCost(config_.method));
+  topo_.probes().set_inline_cost(InlineProbeCost(config_.method));
   switch (config_.method) {
     case MeasurementMethod::kRtPcPseudoDevice:
-      rtpc_ = std::make_unique<RtPcPseudoDevice>(&probes_, sim_.rng().Fork());
+      rtpc_ = std::make_unique<RtPcPseudoDevice>(&topo_.probes(), sim().rng().Fork());
       break;
     case MeasurementMethod::kPcAt:
-      pcat_ = std::make_unique<PcAtTimestamper>(&probes_, &sim_, sim_.rng().Fork());
+      pcat_ = std::make_unique<PcAtTimestamper>(&topo_.probes(), &sim(), sim().rng().Fork());
       break;
     case MeasurementMethod::kLogicAnalyzer: {
       LogicAnalyzer::Config la;
       la.channels = {ProbePoint::kVcaIrq, ProbePoint::kVcaHandlerEntry};
-      logic_ = std::make_unique<LogicAnalyzer>(&probes_, la);
+      logic_ = std::make_unique<LogicAnalyzer>(&topo_.probes(), la);
       break;
     }
     case MeasurementMethod::kGroundTruth:
       break;
   }
 
-  // Receive-side demux wiring.
-  rx_driver_.SetCtmspInput([this](const Packet& packet, bool in_dma_buffer,
-                                  std::function<void()> release) {
-    sink_.OnCtmspDeliver(packet, in_dma_buffer, std::move(release));
-  });
-  tx_driver_.SetIpInput([this](const Packet& packet) { tx_ip_.Input(packet); });
-  rx_driver_.SetIpInput([this](const Packet& packet) { rx_ip_.Input(packet); });
-  tx_driver_.SetArpInput([this](const Packet& packet) { tx_arp_.Input(packet); });
-  rx_driver_.SetArpInput([this](const Packet& packet) { rx_arp_.Input(packet); });
-
   // CTMSP assumes a static point-to-point connection: addresses are known at setup.
-  tx_arp_.InstallStatic(rx_adapter_.address());
-  rx_arp_.InstallStatic(tx_adapter_.address());
+  tx_->ip_stack()->arp.InstallStatic(rx_->address());
+  rx_->ip_stack()->arp.InstallStatic(tx_->address());
 
-  tx_driver_.SetCtmspTransmitNotify(
-      [this](uint32_t seq, int64_t bytes) { transmitter_.RememberLast(seq, bytes); });
+  tx_->driver().SetCtmspTransmitNotify([this](uint32_t seq, int64_t bytes) {
+    stream_->transmitter().RememberLast(seq, bytes);
+  });
 
   if (config_.retransmit_on_purge) {
-    tx_driver_.EnablePurgeDetect([this]() {
-      auto retransmit = transmitter_.OnPurgeDetected();
+    tx_->driver().EnablePurgeDetect([this]() {
+      auto retransmit = stream_->transmitter().OnPurgeDetected();
       if (retransmit.has_value()) {
-        tx_driver_.RetransmitCtmsp(retransmit->first, retransmit->second);
+        tx_->driver().RetransmitCtmsp(retransmit->first, retransmit->second);
       }
     });
   }
@@ -159,83 +128,43 @@ CtmsExperiment::CtmsExperiment(ScenarioConfig config)
   if (config_.multiprocessing) {
     activity_config.stall_interarrival_mean = Milliseconds(1200);
   }
-  tx_activity_ = std::make_unique<KernelBackgroundActivity>(&tx_machine_, sim_.rng().Fork(),
-                                                            activity_config);
-  rx_activity_ = std::make_unique<KernelBackgroundActivity>(&rx_machine_, sim_.rng().Fork(),
-                                                            activity_config);
+  tx_->AttachBackgroundActivity(sim().rng().Fork(), activity_config);
+  rx_->AttachBackgroundActivity(sim().rng().Fork(), activity_config);
 
-  mac_traffic_ = std::make_unique<MacFrameTraffic>(&ring_, sim_.rng().Fork(),
-                                                   MacFrameTraffic::Config{config_.mac_fraction});
+  BackgroundEnvironment& env = topo_.environment();
+  env.AddMacTraffic(&ring, MacFrameTraffic::Config{config_.mac_fraction});
 
   if (config_.public_network) {
-    // Ghost-to-ghost keep-alive chatter (ARP + AFS keep-alives of 66 other machines).
-    GhostTraffic::Config keepalive;
-    keepalive.interarrival_mean =
-        static_cast<SimDuration>(static_cast<double>(Milliseconds(90)) / config_.load_scale);
-    keepalive.min_bytes = 60;
-    keepalive.max_bytes = 300;
-    ghosts_.push_back(
-        std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), keepalive));
-    // Compile/file-transfer bursts of 1522-byte frames.
-    GhostTraffic::Config transfer;
-    transfer.interarrival_mean =
-        static_cast<SimDuration>(static_cast<double>(Milliseconds(1200)) / config_.load_scale);
-    transfer.min_bytes = 1522;
-    transfer.max_bytes = 1522;
-    transfer.burst_min = 4;
-    transfer.burst_max = 16;
-    transfer.burst_spacing = Microseconds(3300);
-    ghosts_.push_back(std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), transfer));
+    // Ghost-to-ghost keep-alive chatter (ARP + AFS keep-alives of 66 other machines) and
+    // compile/file-transfer bursts of 1522-byte frames, both scaled by the load knob.
+    env.AddKeepaliveChatter(&ring, static_cast<SimDuration>(
+        static_cast<double>(Milliseconds(90)) / config_.load_scale));
+    env.AddTransferBursts(&ring, static_cast<SimDuration>(
+        static_cast<double>(Milliseconds(1200)) / config_.load_scale));
   }
 
   if (config_.multiprocessing) {
-    tx_competing_ = std::make_unique<CompetingProcess>(&tx_kernel_, "timeshare-tx",
-                                                       CompetingProcess::Config{});
-    rx_competing_ = std::make_unique<CompetingProcess>(&rx_kernel_, "timeshare-rx",
-                                                       CompetingProcess::Config{});
-    tx_control_ =
-        std::make_unique<ControlServiceProcess>(&tx_kernel_, &tx_udp_, sim_.rng().Fork());
-    rx_control_ =
-        std::make_unique<ControlServiceProcess>(&rx_kernel_, &rx_udp_, sim_.rng().Fork());
+    env.AddCompetingProcess(&tx_->kernel(), "timeshare-tx");
+    env.AddCompetingProcess(&rx_->kernel(), "timeshare-rx");
+    env.AddControlService(&tx_->kernel(), &tx_->ip_stack()->udp);
+    env.AddControlService(&rx_->kernel(), &rx_->ip_stack()->udp);
     // The central control machine polls each host over its socket connection.
-    for (const RingAddress target : {tx_adapter_.address(), rx_adapter_.address()}) {
-      GhostTraffic::Config control;
-      control.interarrival_mean = Milliseconds(600);
-      control.min_bytes = 80;
-      control.max_bytes = 200;
-      control.burst_min = 1;
-      control.burst_max = 2;
-      control.burst_spacing = Microseconds(2500);
-      control.target = target;
-      control.protocol = ProtocolId::kIp;
-      control.ip_proto = kIpProtoUdp;
-      control.port = 5000;
-      ghosts_.push_back(std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), control));
+    for (const RingAddress target : {tx_->address(), rx_->address()}) {
+      env.AddControlPolls(&ring, target);
     }
     // AFS fetch bursts arriving AT the hosts (cache refills): each 1522-byte frame costs
     // the receive path ~1.5 ms of splimp work, delaying CTMSP rx classification and
     // thickening Figure 5-4's above-peak mass.
-    for (const RingAddress target : {tx_adapter_.address(), rx_adapter_.address()}) {
-      GhostTraffic::Config fetch;
-      fetch.interarrival_mean = Milliseconds(1300);
-      fetch.min_bytes = 1522;
-      fetch.max_bytes = 1522;
-      fetch.burst_min = 4;
-      fetch.burst_max = 12;
-      fetch.burst_spacing = Microseconds(3300);
-      fetch.target = target;
-      fetch.protocol = ProtocolId::kIp;
-      fetch.ip_proto = kIpProtoUdp;
-      fetch.port = 7000;  // lands on the AFS daemon port; no one answers fetch data
-      ghosts_.push_back(std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), fetch));
+    for (const RingAddress target : {tx_->address(), rx_->address()}) {
+      env.AddAfsFetchBursts(&ring, target);
     }
     // The hosts are AFS clients with their own keep-alives.
     AfsClientDaemon::Config afs;
-    afs.server = ring_.AllocateGhostAddress();
-    tx_afs_ = std::make_unique<AfsClientDaemon>(&tx_kernel_, &tx_udp_, sim_.rng().Fork(), afs);
-    rx_afs_ = std::make_unique<AfsClientDaemon>(&rx_kernel_, &rx_udp_, sim_.rng().Fork(), afs);
-    tx_arp_.InstallStatic(afs.server);
-    rx_arp_.InstallStatic(afs.server);
+    afs.server = ring.AllocateGhostAddress();
+    env.AddAfsClient(&tx_->kernel(), &tx_->ip_stack()->udp, afs);
+    env.AddAfsClient(&rx_->kernel(), &rx_->ip_stack()->udp, afs);
+    tx_->ip_stack()->arp.InstallStatic(afs.server);
+    rx_->ip_stack()->arp.InstallStatic(afs.server);
     // The test harness streams recorded measurement data to the control machine in real
     // time ("a set of computers that recorded and analyzed data in real time", section
     // 5.2.1). These larger uploads are what CTMSP packets most often queue behind: the
@@ -248,32 +177,13 @@ CtmsExperiment::CtmsExperiment(ScenarioConfig config)
     upload.max_bytes = 2000;
     upload.port = 7001;
     upload.process_cost = Microseconds(350);
-    tx_upload_ =
-        std::make_unique<AfsClientDaemon>(&tx_kernel_, &tx_udp_, sim_.rng().Fork(), upload);
-    rx_upload_ =
-        std::make_unique<AfsClientDaemon>(&rx_kernel_, &rx_udp_, sim_.rng().Fork(), upload);
+    env.AddAfsClient(&tx_->kernel(), &tx_->ip_stack()->udp, upload);
+    env.AddAfsClient(&rx_->kernel(), &rx_->ip_stack()->udp, upload);
   }
 
   if (config_.insertion_mean > 0) {
-    insertions_ = std::make_unique<InsertionSchedule>(
-        &ring_, sim_.rng().Fork(), InsertionSchedule::Config{config_.insertion_mean});
+    env.AddInsertions(&ring, InsertionSchedule::Config{config_.insertion_mean});
   }
-
-  // Mirror the paper's four measurement points onto a tracer track, so a Perfetto view of
-  // a run shows the probe instants interleaved with the CPU/ring spans they bracket.
-  const TrackId probes_track = sim_.telemetry().tracer.RegisterTrack("probes");
-  probes_.Subscribe([this, probes_track](const ProbeEvent& event) {
-    SpanTracer& tracer = sim_.telemetry().tracer;
-    if (tracer.enabled()) {
-      tracer.AddInstant(probes_track, ProbePointName(event.point), event.time,
-                        {{"seq", static_cast<int64_t>(event.seq)}});
-    }
-  });
-}
-
-CtmsExperiment::~CtmsExperiment() {
-  tx_machine_.cpu().CancelAll();
-  rx_machine_.cpu().CancelAll();
 }
 
 void CtmsExperiment::Start() {
@@ -281,38 +191,29 @@ void CtmsExperiment::Start() {
     return;
   }
   started_ = true;
-  tx_machine_.StartHardclock();
-  rx_machine_.StartHardclock();
-  tx_activity_->Start();
-  rx_activity_->Start();
-  mac_traffic_->Start();
-  for (auto& ghost : ghosts_) {
-    ghost->Start();
-  }
-  if (tx_competing_ != nullptr) {
-    tx_competing_->Start();
-    rx_competing_->Start();
-    tx_afs_->Start();
-    rx_afs_->Start();
-    tx_upload_->Start();
-    rx_upload_->Start();
-  }
-  if (insertions_ != nullptr) {
-    insertions_->Start();
-  }
-  source_.Start(VcaSourceDriver::OutputMode::kCtmspDirect, rx_adapter_.address());
+  tx_->StartHardclock();
+  rx_->StartHardclock();
+  tx_->StartActivity();
+  rx_->StartActivity();
+  BackgroundEnvironment& env = topo_.environment();
+  env.StartMacTraffic();
+  env.StartGhosts();
+  env.StartCompeting();
+  env.StartAfsClients();
+  env.StartInsertions();
+  stream_->Start();
 }
 
 ExperimentReport CtmsExperiment::Run() {
   Start();
-  sim_.RunFor(config_.duration);
+  sim().RunFor(config_.duration);
   return Report();
 }
 
 std::vector<ProbeEvent> CtmsExperiment::MeasuredEvents() const {
   switch (config_.method) {
     case MeasurementMethod::kGroundTruth:
-      return ground_truth_.events();
+      return ground_truth_->events();
     case MeasurementMethod::kRtPcPseudoDevice:
       return rtpc_->events();
     case MeasurementMethod::kPcAt:
@@ -327,38 +228,39 @@ ExperimentReport CtmsExperiment::Report() {
   ExperimentReport report;
   report.config = config_;
   report.measured = BuildPaperHistograms(MeasuredEvents());
-  report.ground_truth = BuildPaperHistograms(ground_truth_.events());
+  report.ground_truth = BuildPaperHistograms(ground_truth_->events());
 
-  report.irq_count = source_.interrupts();
-  report.packets_built = source_.packets_built();
-  report.packets_delivered = receiver_.delivered();
-  report.packets_lost = receiver_.lost();
-  report.duplicates = receiver_.duplicates();
-  report.out_of_order = receiver_.out_of_order();
-  report.source_mbuf_drops = source_.mbuf_drops();
-  report.source_queue_drops = source_.queue_drops();
-  report.retransmissions = transmitter_.retransmissions();
-  report.late_recovered = receiver_.late_recovered();
+  const StreamStats stats = stream_->Stats();
+  report.irq_count = stats.interrupts;
+  report.packets_built = stats.built;
+  report.packets_delivered = stats.delivered;
+  report.packets_lost = stats.lost;
+  report.duplicates = stats.duplicates;
+  report.out_of_order = stats.out_of_order;
+  report.source_mbuf_drops = stats.mbuf_drops;
+  report.source_queue_drops = stats.queue_drops;
+  report.retransmissions = stats.retransmissions;
+  report.late_recovered = stats.late_recovered;
 
-  report.sink_underruns = sink_.underruns();
-  report.sink_peak_buffer = sink_.peak_buffered_bytes();
-  report.sink_latency = sink_.latency();
+  report.sink_underruns = stats.underruns;
+  report.sink_peak_buffer = stats.peak_buffered_bytes;
+  report.sink_latency = stream_->sink().latency();
 
-  report.tx_cpu_utilization = tx_machine_.cpu().Utilization();
-  report.rx_cpu_utilization = rx_machine_.cpu().Utilization();
-  report.ring_utilization = ring_.Utilization();
+  report.tx_cpu_utilization = tx_->machine().cpu().Utilization();
+  report.rx_cpu_utilization = rx_->machine().cpu().Utilization();
+  report.ring_utilization = ring().Utilization();
 
-  report.ring_purges = ring_.purge_count();
-  report.ring_insertions = ring_.insertion_count();
-  report.frames_lost_to_purge = ring_.frames_lost_to_purge();
+  report.ring_purges = ring().purge_count();
+  report.ring_insertions = ring().insertion_count();
+  report.frames_lost_to_purge = ring().frames_lost_to_purge();
 
-  report.tap_ctmsp = tap_.AnalyzeStream(ProtocolId::kCtmsp);
-  report.tap_mac_fraction = tap_.MacFrameFraction();
+  report.tap_ctmsp = tap_->AnalyzeStream(ProtocolId::kCtmsp);
+  report.tap_mac_fraction = tap_->MacFrameFraction();
 
-  report.tx_cpu_copies = tx_machine_.copies().cpu_copies();
-  report.rx_cpu_copies = rx_machine_.copies().cpu_copies();
-  report.tx_dma_copies = tx_machine_.copies().dma_copies();
-  report.rx_dma_copies = rx_machine_.copies().dma_copies();
+  report.tx_cpu_copies = tx_->machine().copies().cpu_copies();
+  report.rx_cpu_copies = rx_->machine().copies().cpu_copies();
+  report.tx_dma_copies = tx_->machine().copies().dma_copies();
+  report.rx_dma_copies = rx_->machine().copies().dma_copies();
   return report;
 }
 

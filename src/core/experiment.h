@@ -14,21 +14,16 @@
 #include "src/dev/tr_driver.h"
 #include "src/dev/vca.h"
 #include "src/hw/machine.h"
-#include "src/kern/process.h"
 #include "src/kern/unix_kernel.h"
 #include "src/measure/interval_analyzer.h"
 #include "src/measure/recorders.h"
 #include "src/measure/tap.h"
-#include "src/proto/arp.h"
 #include "src/proto/ctmsp.h"
-#include "src/proto/ip.h"
-#include "src/proto/udp.h"
-#include "src/ring/adapter.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
-#include "src/workload/host_service.h"
-#include "src/workload/kernel_activity.h"
-#include "src/workload/ring_traffic.h"
+#include "src/testbed/station.h"
+#include "src/testbed/stream.h"
+#include "src/testbed/topology.h"
 
 namespace ctms {
 
@@ -87,9 +82,6 @@ class CtmsExperiment {
 
   CtmsExperiment(const CtmsExperiment&) = delete;
   CtmsExperiment& operator=(const CtmsExperiment&) = delete;
-  // Drains the CPUs first: queued jobs hold packets whose mbuf chains live in the kernels,
-  // which member order would otherwise destroy before the machines.
-  ~CtmsExperiment();
 
   // Starts the stream and environment, runs for config.duration, and reports.
   ExperimentReport Run();
@@ -100,68 +92,36 @@ class CtmsExperiment {
   ExperimentReport Report();
 
   // --- component access -----------------------------------------------------------------
-  Simulation& sim() { return sim_; }
-  TokenRing& ring() { return ring_; }
-  Machine& tx_machine() { return tx_machine_; }
-  Machine& rx_machine() { return rx_machine_; }
-  TokenRingDriver& tx_driver() { return tx_driver_; }
-  TokenRingDriver& rx_driver() { return rx_driver_; }
-  VcaSourceDriver& source() { return source_; }
-  VcaSinkDriver& sink() { return sink_; }
-  CtmspTransmitter& transmitter() { return transmitter_; }
-  CtmspReceiver& receiver() { return receiver_; }
-  ProbeBus& probes() { return probes_; }
-  TapMonitor& tap() { return tap_; }
-  GroundTruthRecorder& ground_truth() { return ground_truth_; }
+  Simulation& sim() { return topo_.sim(); }
+  TokenRing& ring() { return topo_.ring(); }
+  RingTopology& topology() { return topo_; }
+  Machine& tx_machine() { return tx_->machine(); }
+  Machine& rx_machine() { return rx_->machine(); }
+  TokenRingDriver& tx_driver() { return tx_->driver(); }
+  TokenRingDriver& rx_driver() { return rx_->driver(); }
+  VcaSourceDriver& source() { return stream_->vca_source(); }
+  VcaSinkDriver& sink() { return stream_->sink(); }
+  CtmspTransmitter& transmitter() { return stream_->transmitter(); }
+  CtmspReceiver& receiver() { return stream_->receiver(); }
+  ProbeBus& probes() { return topo_.probes(); }
+  TapMonitor& tap() { return *tap_; }
+  GroundTruthRecorder& ground_truth() { return *ground_truth_; }
   PcAtTimestamper* pcat() { return pcat_.get(); }
 
  private:
   std::vector<ProbeEvent> MeasuredEvents() const;
 
   ScenarioConfig config_;
-  Simulation sim_;
-  TokenRing ring_;
-  Machine tx_machine_;
-  Machine rx_machine_;
-  UnixKernel tx_kernel_;
-  UnixKernel rx_kernel_;
-  TokenRingAdapter tx_adapter_;
-  TokenRingAdapter rx_adapter_;
-  ProbeBus probes_;
-  TokenRingDriver tx_driver_;
-  TokenRingDriver rx_driver_;
+  RingTopology topo_;  // owns the simulation, probes, ring, both stations, and environment
+  Station* tx_ = nullptr;
+  Station* rx_ = nullptr;
+  std::unique_ptr<StreamEndpoints> stream_;
 
-  ArpLayer tx_arp_;
-  ArpLayer rx_arp_;
-  IpLayer tx_ip_;
-  IpLayer rx_ip_;
-  UdpLayer tx_udp_;
-  UdpLayer rx_udp_;
-
-  CtmspTransmitter transmitter_;
-  CtmspReceiver receiver_;
-  VcaSourceDriver source_;
-  VcaSinkDriver sink_;
-
-  GroundTruthRecorder ground_truth_;
+  std::unique_ptr<GroundTruthRecorder> ground_truth_;
   std::unique_ptr<RtPcPseudoDevice> rtpc_;
   std::unique_ptr<PcAtTimestamper> pcat_;
   std::unique_ptr<LogicAnalyzer> logic_;
-  TapMonitor tap_;
-
-  std::unique_ptr<KernelBackgroundActivity> tx_activity_;
-  std::unique_ptr<KernelBackgroundActivity> rx_activity_;
-  std::unique_ptr<MacFrameTraffic> mac_traffic_;
-  std::vector<std::unique_ptr<GhostTraffic>> ghosts_;
-  std::unique_ptr<CompetingProcess> tx_competing_;
-  std::unique_ptr<CompetingProcess> rx_competing_;
-  std::unique_ptr<ControlServiceProcess> tx_control_;
-  std::unique_ptr<ControlServiceProcess> rx_control_;
-  std::unique_ptr<AfsClientDaemon> tx_afs_;
-  std::unique_ptr<AfsClientDaemon> rx_afs_;
-  std::unique_ptr<AfsClientDaemon> tx_upload_;
-  std::unique_ptr<AfsClientDaemon> rx_upload_;
-  std::unique_ptr<InsertionSchedule> insertions_;
+  std::unique_ptr<TapMonitor> tap_;
 
   bool started_ = false;
 };

@@ -6,116 +6,76 @@
 namespace ctms {
 
 MultiStreamExperiment::MultiStreamExperiment(MultiStreamConfig config)
-    : config_(std::move(config)), sim_(config_.seed), ring_(&sim_) {
+    : config_(std::move(config)), topo_(config_.seed) {
+  TokenRing& ring = topo_.AddRing();
+
+  Station::PortConfig port;
+  port.adapter.dma_buffer_kind = config_.dma_buffer_kind;
+  port.driver.ctms_mode = true;
+  port.driver.ctmsp_ring_priority = config_.ring_priority;
+
   for (int i = 0; i < config_.streams; ++i) {
-    auto stream = std::make_unique<Stream>();
-    stream->tx = MakeHost("tx" + std::to_string(i));
-    stream->rx = MakeHost("rx" + std::to_string(i));
+    Stream stream;
+    stream.tx = &topo_.AddStation("tx" + std::to_string(i));
+    stream.tx->AttachRing(&ring, &topo_.probes(), port);
+    stream.tx->AttachBackgroundActivity(topo_.sim().rng().Fork());
+    stream.rx = &topo_.AddStation("rx" + std::to_string(i));
+    stream.rx->AttachRing(&ring, &topo_.probes(), port);
+    stream.rx->AttachBackgroundActivity(topo_.sim().rng().Fork());
 
-    CtmspConnectionConfig conn;
-    conn.peer = stream->rx.adapter->address();
-    conn.ring_priority = config_.ring_priority;
-    stream->transmitter = std::make_unique<CtmspTransmitter>(conn);
-    stream->receiver = std::make_unique<CtmspReceiver>(conn);
-
-    VcaSourceDriver::Config source_config;
-    source_config.packet_bytes = config_.packet_bytes;
-    source_config.period = config_.packet_period;
-    stream->source = std::make_unique<VcaSourceDriver>(
-        stream->tx.kernel.get(), stream->tx.driver.get(), &probes_, stream->transmitter.get(),
-        source_config);
-
-    VcaSinkDriver::Config sink_config;
-    sink_config.playout_bytes = config_.packet_bytes;
-    sink_config.playout_period = config_.packet_period;
-    sink_config.prime_packets = 5;  // shared-ring queueing needs a little more smoothing
-    stream->sink = std::make_unique<VcaSinkDriver>(stream->rx.kernel.get(),
-                                                   stream->receiver.get(), sink_config);
-
-    VcaSinkDriver* sink = stream->sink.get();
-    stream->rx.driver->SetCtmspInput(
-        [sink](const Packet& packet, bool in_dma, std::function<void()> release) {
-          sink->OnCtmspDeliver(packet, in_dma, std::move(release));
-        });
+    StreamEndpoints::Config endpoints;
+    endpoints.connection.ring_priority = config_.ring_priority;
+    endpoints.source.packet_bytes = config_.packet_bytes;
+    endpoints.source.period = config_.packet_period;
+    endpoints.sink.playout_bytes = config_.packet_bytes;
+    endpoints.sink.playout_period = config_.packet_period;
+    endpoints.sink.prime_packets = 5;  // shared-ring queueing needs a little more smoothing
+    stream.endpoints = std::make_unique<StreamEndpoints>(stream.tx, stream.rx,
+                                                         &topo_.probes(), endpoints);
     streams_.push_back(std::move(stream));
   }
 
-  mac_traffic_ = std::make_unique<MacFrameTraffic>(&ring_, sim_.rng().Fork(),
-                                                   MacFrameTraffic::Config{config_.mac_fraction});
+  BackgroundEnvironment& env = topo_.environment();
+  env.AddMacTraffic(&ring, MacFrameTraffic::Config{config_.mac_fraction});
   if (config_.background_keepalives) {
-    GhostTraffic::Config keepalive;
-    keepalive.interarrival_mean = Milliseconds(120);
-    keepalives_ = std::make_unique<GhostTraffic>(&ring_, sim_.rng().Fork(), keepalive);
+    env.AddKeepaliveChatter(&ring, Milliseconds(120));
   }
-}
-
-MultiStreamExperiment::~MultiStreamExperiment() {
-  // Queued CPU jobs hold mbuf chains owned by each host's kernel; drain first.
-  for (auto& stream : streams_) {
-    stream->tx.machine->cpu().CancelAll();
-    stream->rx.machine->cpu().CancelAll();
-  }
-}
-
-MultiStreamExperiment::Host MultiStreamExperiment::MakeHost(const std::string& name) {
-  Host host;
-  host.machine = std::make_unique<Machine>(&sim_, name);
-  host.kernel = std::make_unique<UnixKernel>(host.machine.get());
-  TokenRingAdapter::Config adapter_config;
-  adapter_config.dma_buffer_kind = config_.dma_buffer_kind;
-  host.adapter =
-      std::make_unique<TokenRingAdapter>(host.machine.get(), &ring_, adapter_config);
-  TokenRingDriver::Config driver_config;
-  driver_config.ctms_mode = true;
-  driver_config.ctmsp_ring_priority = config_.ring_priority;
-  host.driver = std::make_unique<TokenRingDriver>(host.kernel.get(), host.adapter.get(),
-                                                  &probes_, driver_config);
-  host.activity =
-      std::make_unique<KernelBackgroundActivity>(host.machine.get(), sim_.rng().Fork());
-  return host;
 }
 
 MultiStreamReport MultiStreamExperiment::Run() {
-  for (auto& stream : streams_) {
-    stream->tx.machine->StartHardclock();
-    stream->rx.machine->StartHardclock();
-    stream->tx.activity->Start();
-    stream->rx.activity->Start();
+  for (Stream& stream : streams_) {
+    stream.tx->StartHardclock();
+    stream.rx->StartHardclock();
+    stream.tx->StartActivity();
+    stream.rx->StartActivity();
   }
-  mac_traffic_->Start();
-  if (keepalives_ != nullptr) {
-    keepalives_->Start();
-  }
+  topo_.environment().StartMacTraffic();
+  topo_.environment().StartGhosts();
   // Stagger stream starts across one period so sources do not fire in lockstep.
   SimDuration stagger = 0;
   const SimDuration step = config_.packet_period / (config_.streams + 1);
-  for (auto& stream : streams_) {
-    VcaSourceDriver* source = stream->source.get();
-    const RingAddress dst = stream->rx.adapter->address();
-    sim_.After(stagger, [source, dst]() {
-      source->Start(VcaSourceDriver::OutputMode::kCtmspDirect, dst);
-    });
+  for (Stream& stream : streams_) {
+    StreamEndpoints* endpoints = stream.endpoints.get();
+    topo_.sim().After(stagger, [endpoints]() { endpoints->Start(); });
     stagger += step;
   }
-  sim_.RunFor(config_.duration);
+  topo_.sim().RunFor(config_.duration);
 
   MultiStreamReport report;
   report.config = config_;
-  for (auto& stream : streams_) {
+  for (Stream& stream : streams_) {
+    const StreamStats stats = stream.endpoints->Stats();
     StreamQuality quality;
-    quality.built = stream->source->packets_built();
-    quality.delivered = stream->receiver->delivered();
-    quality.lost = stream->receiver->lost();
-    quality.queue_drops = stream->source->queue_drops();
-    quality.underruns = stream->sink->underruns();
-    if (!stream->sink->latency().empty()) {
-      const SummaryStats stats = stream->sink->latency().Summary();
-      quality.mean_latency = static_cast<SimDuration>(stats.mean);
-      quality.max_latency = stats.max;
-    }
+    quality.built = stats.built;
+    quality.delivered = stats.delivered;
+    quality.lost = stats.lost;
+    quality.queue_drops = stats.queue_drops;
+    quality.underruns = stats.underruns;
+    quality.mean_latency = stats.mean_latency;
+    quality.max_latency = stats.max_latency;
     report.streams.push_back(quality);
   }
-  report.ring_utilization = ring_.Utilization();
+  report.ring_utilization = topo_.ring().Utilization();
   return report;
 }
 

@@ -14,17 +14,11 @@
 #include <vector>
 
 #include "src/core/scenario.h"
-#include "src/dev/tr_driver.h"
-#include "src/dev/vca.h"
-#include "src/hw/machine.h"
-#include "src/kern/unix_kernel.h"
-#include "src/measure/probe.h"
-#include "src/proto/ctmsp.h"
-#include "src/ring/adapter.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
-#include "src/workload/kernel_activity.h"
-#include "src/workload/ring_traffic.h"
+#include "src/testbed/station.h"
+#include "src/testbed/stream.h"
+#include "src/testbed/topology.h"
 
 namespace ctms {
 
@@ -65,41 +59,23 @@ class MultiStreamExperiment {
 
   MultiStreamExperiment(const MultiStreamExperiment&) = delete;
   MultiStreamExperiment& operator=(const MultiStreamExperiment&) = delete;
-  ~MultiStreamExperiment();
 
   MultiStreamReport Run();
 
-  Simulation& sim() { return sim_; }
-  TokenRing& ring() { return ring_; }
+  Simulation& sim() { return topo_.sim(); }
+  TokenRing& ring() { return topo_.ring(); }
+  RingTopology& topology() { return topo_; }
 
  private:
-  // One endpoint host (transmit or receive side of a stream).
-  struct Host {
-    std::unique_ptr<Machine> machine;
-    std::unique_ptr<UnixKernel> kernel;
-    std::unique_ptr<TokenRingAdapter> adapter;
-    std::unique_ptr<TokenRingDriver> driver;
-    std::unique_ptr<KernelBackgroundActivity> activity;
-  };
-
   struct Stream {
-    Host tx;
-    Host rx;
-    std::unique_ptr<CtmspTransmitter> transmitter;
-    std::unique_ptr<CtmspReceiver> receiver;
-    std::unique_ptr<VcaSourceDriver> source;
-    std::unique_ptr<VcaSinkDriver> sink;
+    Station* tx = nullptr;
+    Station* rx = nullptr;
+    std::unique_ptr<StreamEndpoints> endpoints;
   };
-
-  Host MakeHost(const std::string& name);
 
   MultiStreamConfig config_;
-  Simulation sim_;
-  TokenRing ring_;
-  ProbeBus probes_;  // shared; per-stream analysis uses the receivers directly
-  std::vector<std::unique_ptr<Stream>> streams_;
-  std::unique_ptr<MacFrameTraffic> mac_traffic_;
-  std::unique_ptr<GhostTraffic> keepalives_;
+  RingTopology topo_;
+  std::vector<Stream> streams_;
 };
 
 }  // namespace ctms

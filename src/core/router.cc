@@ -7,148 +7,88 @@ namespace ctms {
 
 namespace {
 
-TokenRingAdapter::Config AdapterFor(const RouterConfig& config) {
-  TokenRingAdapter::Config adapter;
-  adapter.dma_buffer_kind = config.dma_buffer_kind;
-  return adapter;
-}
-
-TokenRingDriver::Config DriverFor(const RouterConfig& config, bool rx_copy_to_mbufs) {
-  TokenRingDriver::Config driver;
-  driver.ctms_mode = true;
-  driver.rx_copy_ctmsp_to_mbufs = rx_copy_to_mbufs;
-  (void)config;
-  return driver;
+Station::PortConfig PortFor(const RouterConfig& config, bool rx_copy_to_mbufs) {
+  Station::PortConfig port;
+  port.adapter.dma_buffer_kind = config.dma_buffer_kind;
+  port.driver.ctms_mode = true;
+  port.driver.rx_copy_ctmsp_to_mbufs = rx_copy_to_mbufs;
+  return port;
 }
 
 }  // namespace
 
 RouterExperiment::RouterExperiment(RouterConfig config)
-    : config_(std::move(config)), sim_(config_.seed), ring_a_(&sim_), ring_b_(&sim_) {
-  src_machine_ = std::make_unique<Machine>(&sim_, "src");
-  src_kernel_ = std::make_unique<UnixKernel>(src_machine_.get());
-  src_adapter_ =
-      std::make_unique<TokenRingAdapter>(src_machine_.get(), &ring_a_, AdapterFor(config_));
-  src_driver_ = std::make_unique<TokenRingDriver>(src_kernel_.get(), src_adapter_.get(),
-                                                  &probes_, DriverFor(config_, true));
+    : config_(std::move(config)), topo_(config_.seed) {
+  TokenRing& ring_a = topo_.AddRing();
+  TokenRing& ring_b = topo_.AddRing();
 
-  router_machine_ = std::make_unique<Machine>(&sim_, "router");
-  router_kernel_ = std::make_unique<UnixKernel>(router_machine_.get());
-  router_a_adapter_ = std::make_unique<TokenRingAdapter>(router_machine_.get(), &ring_a_,
-                                                         AdapterFor(config_));
-  router_b_adapter_ = std::make_unique<TokenRingAdapter>(router_machine_.get(), &ring_b_,
-                                                         AdapterFor(config_));
-  // The A-side driver's rx copy policy is the forwarding-mode knob: via-mbufs copies the
+  src_ = &topo_.AddStation("src");
+  src_->AttachRing(&ring_a, &topo_.probes(), PortFor(config_, true));
+
+  router_ = &topo_.AddStation("router");
+  // The A-side port's rx copy policy is the forwarding-mode knob: via-mbufs copies the
   // packet out of the DMA buffer; zero-copy hands it over in place.
-  router_a_driver_ = std::make_unique<TokenRingDriver>(
-      router_kernel_.get(), router_a_adapter_.get(), &probes_,
-      DriverFor(config_, config_.forward_via_mbufs));
-  router_b_driver_ = std::make_unique<TokenRingDriver>(
-      router_kernel_.get(), router_b_adapter_.get(), &probes_,
-      [this]() {
-        TokenRingDriver::Config driver = DriverFor(config_, true);
-        // Zero-copy forwarding also skips the B-side copy into the transmit DMA buffer.
-        driver.zero_copy_tx = !config_.forward_via_mbufs;
-        return driver;
-      }());
+  router_->AttachRing(&ring_a, &topo_.probes(),
+                      PortFor(config_, config_.forward_via_mbufs));
+  Station::PortConfig b_port = PortFor(config_, true);
+  // Zero-copy forwarding also skips the B-side copy into the transmit DMA buffer.
+  b_port.driver.zero_copy_tx = !config_.forward_via_mbufs;
+  router_->AttachRing(&ring_b, &topo_.probes(), b_port);
 
-  dst_machine_ = std::make_unique<Machine>(&sim_, "dst");
-  dst_kernel_ = std::make_unique<UnixKernel>(dst_machine_.get());
-  dst_adapter_ =
-      std::make_unique<TokenRingAdapter>(dst_machine_.get(), &ring_b_, AdapterFor(config_));
-  dst_driver_ = std::make_unique<TokenRingDriver>(dst_kernel_.get(), dst_adapter_.get(),
-                                                  &probes_, DriverFor(config_, true));
+  dst_ = &topo_.AddStation("dst");
+  dst_->AttachRing(&ring_b, &topo_.probes(), PortFor(config_, true));
 
-  CtmspConnectionConfig conn;
-  conn.peer = dst_adapter_->address();
-  transmitter_ = std::make_unique<CtmspTransmitter>(conn);
-  receiver_ = std::make_unique<CtmspReceiver>(conn);
-
-  VcaSourceDriver::Config source_config;
-  source_config.packet_bytes = config_.packet_bytes;
-  source_config.period = config_.packet_period;
-  source_ = std::make_unique<VcaSourceDriver>(src_kernel_.get(), src_driver_.get(), &probes_,
-                                              transmitter_.get(), source_config);
-
-  VcaSinkDriver::Config sink_config;
-  sink_config.playout_bytes = config_.packet_bytes;
-  sink_config.playout_period = config_.packet_period;
-  sink_config.prime_packets = 5;  // the extra hop adds jitter
-  sink_ = std::make_unique<VcaSinkDriver>(dst_kernel_.get(), receiver_.get(), sink_config);
+  StreamEndpoints::Config endpoints;
+  endpoints.source.packet_bytes = config_.packet_bytes;
+  endpoints.source.period = config_.packet_period;
+  endpoints.sink.playout_bytes = config_.packet_bytes;
+  endpoints.sink.playout_period = config_.packet_period;
+  endpoints.sink.prime_packets = 5;  // the extra hop adds jitter
+  stream_ = std::make_unique<StreamEndpoints>(src_, dst_, &topo_.probes(), endpoints);
 
   // Forwarding: the A-side split point hands CTMSP packets straight to the B-side driver.
-  router_a_driver_->SetCtmspInput([this](const Packet& packet, bool in_dma_buffer,
-                                         std::function<void()> release) {
-    Packet forward = packet;
-    forward.dst = dst_adapter_->address();
-    forward.chain.reset();
-    ++forwarded_;
-    // Via-mbufs: the packet now lives in router mbufs and the B-side driver copies it into
-    // its own fixed DMA buffer as usual. Zero-copy (in_dma_buffer): the B-side transmit is
-    // just a descriptor flip, so the rx buffer can be released as soon as it is queued.
-    // Queue overflow shows up in the B driver's queue statistics either way.
-    router_b_driver_->OutputCtmsp(forward);
-    release();
-    (void)in_dma_buffer;
-  });
+  relay_ = std::make_unique<CtmspRelay>(router_, /*in_port=*/0, /*out_port=*/1,
+                                        dst_->address());
 
-  dst_driver_->SetCtmspInput([this](const Packet& packet, bool in_dma,
-                                    std::function<void()> release) {
-    sink_->OnCtmspDeliver(packet, in_dma, std::move(release));
-  });
+  src_->AttachBackgroundActivity(topo_.sim().rng().Fork());
+  router_->AttachBackgroundActivity(topo_.sim().rng().Fork());
+  dst_->AttachBackgroundActivity(topo_.sim().rng().Fork());
 
-  for (Machine* machine : {src_machine_.get(), router_machine_.get(), dst_machine_.get()}) {
-    activities_.push_back(
-        std::make_unique<KernelBackgroundActivity>(machine, sim_.rng().Fork()));
-  }
-  for (TokenRing* ring : {&ring_a_, &ring_b_}) {
+  BackgroundEnvironment& env = topo_.environment();
+  for (TokenRing* ring : {&ring_a, &ring_b}) {
     ring->AddPassiveStations(10);
-    mac_traffic_.push_back(std::make_unique<MacFrameTraffic>(
-        ring, sim_.rng().Fork(), MacFrameTraffic::Config{config_.mac_fraction}));
+    env.AddMacTraffic(ring, MacFrameTraffic::Config{config_.mac_fraction});
     if (config_.background) {
-      GhostTraffic::Config keepalive;
-      keepalive.interarrival_mean = Milliseconds(150);
-      keepalives_.push_back(
-          std::make_unique<GhostTraffic>(ring, sim_.rng().Fork(), keepalive));
+      env.AddKeepaliveChatter(ring, Milliseconds(150));
     }
   }
 }
 
-RouterExperiment::~RouterExperiment() {
-  // Queued CPU jobs hold mbuf chains owned by the kernels; drain first.
-  for (Machine* machine : {src_machine_.get(), router_machine_.get(), dst_machine_.get()}) {
-    machine->cpu().CancelAll();
-  }
-}
-
 RouterReport RouterExperiment::Run() {
-  for (Machine* machine : {src_machine_.get(), router_machine_.get(), dst_machine_.get()}) {
-    machine->StartHardclock();
+  for (Station* station : {src_, router_, dst_}) {
+    station->StartHardclock();
   }
-  for (auto& activity : activities_) {
-    activity->Start();
+  for (Station* station : {src_, router_, dst_}) {
+    station->StartActivity();
   }
-  for (auto& mac : mac_traffic_) {
-    mac->Start();
-  }
-  for (auto& keepalive : keepalives_) {
-    keepalive->Start();
-  }
-  source_->Start(VcaSourceDriver::OutputMode::kCtmspDirect, router_a_adapter_->address());
-  sim_.RunFor(config_.duration);
+  topo_.environment().StartMacTraffic();
+  topo_.environment().StartGhosts();
+  stream_->Start(router_->address(0));
+  topo_.sim().RunFor(config_.duration);
 
   RouterReport report;
   report.config = config_;
-  report.packets_built = source_->packets_built();
-  report.packets_forwarded = forwarded_;
-  report.packets_delivered = receiver_->delivered();
-  report.packets_lost = receiver_->lost();
-  report.router_queue_drops = router_b_driver_->ctmsp_queue().drops();
-  report.sink_underruns = sink_->underruns();
-  report.router_cpu_utilization = router_machine_->cpu().Utilization();
-  report.ring_a_utilization = ring_a_.Utilization();
-  report.ring_b_utilization = ring_b_.Utilization();
-  report.end_to_end = sink_->latency();
+  const StreamStats stats = stream_->Stats();
+  report.packets_built = stats.built;
+  report.packets_forwarded = relay_->forwarded();
+  report.packets_delivered = stats.delivered;
+  report.packets_lost = stats.lost;
+  report.router_queue_drops = router_->driver(1).ctmsp_queue().drops();
+  report.sink_underruns = stats.underruns;
+  report.router_cpu_utilization = router_->machine().cpu().Utilization();
+  report.ring_a_utilization = topo_.ring(0).Utilization();
+  report.ring_b_utilization = topo_.ring(1).Utilization();
+  report.end_to_end = stream_->sink().latency();
   return report;
 }
 

@@ -15,18 +15,12 @@
 #include <string>
 
 #include "src/core/scenario.h"
-#include "src/dev/tr_driver.h"
-#include "src/dev/vca.h"
-#include "src/hw/machine.h"
-#include "src/kern/unix_kernel.h"
 #include "src/measure/histogram.h"
-#include "src/measure/probe.h"
-#include "src/proto/ctmsp.h"
-#include "src/ring/adapter.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
-#include "src/workload/kernel_activity.h"
-#include "src/workload/ring_traffic.h"
+#include "src/testbed/station.h"
+#include "src/testbed/stream.h"
+#include "src/testbed/topology.h"
 
 namespace ctms {
 
@@ -69,51 +63,25 @@ class RouterExperiment {
 
   RouterExperiment(const RouterExperiment&) = delete;
   RouterExperiment& operator=(const RouterExperiment&) = delete;
-  ~RouterExperiment();
 
   RouterReport Run();
 
-  Simulation& sim() { return sim_; }
-  TokenRing& ring_a() { return ring_a_; }
-  TokenRing& ring_b() { return ring_b_; }
-  Machine& router_machine() { return *router_machine_; }
+  Simulation& sim() { return topo_.sim(); }
+  TokenRing& ring_a() { return topo_.ring(0); }
+  TokenRing& ring_b() { return topo_.ring(1); }
+  Machine& router_machine() { return router_->machine(); }
+  RingTopology& topology() { return topo_; }
 
  private:
   RouterConfig config_;
-  Simulation sim_;
-  TokenRing ring_a_;
-  TokenRing ring_b_;
-  ProbeBus probes_;
+  RingTopology topo_;
 
-  // Source host on ring A.
-  std::unique_ptr<Machine> src_machine_;
-  std::unique_ptr<UnixKernel> src_kernel_;
-  std::unique_ptr<TokenRingAdapter> src_adapter_;
-  std::unique_ptr<TokenRingDriver> src_driver_;
+  Station* src_ = nullptr;
+  Station* router_ = nullptr;  // port 0 on ring A, port 1 on ring B
+  Station* dst_ = nullptr;
 
-  // The router, on both rings.
-  std::unique_ptr<Machine> router_machine_;
-  std::unique_ptr<UnixKernel> router_kernel_;
-  std::unique_ptr<TokenRingAdapter> router_a_adapter_;
-  std::unique_ptr<TokenRingAdapter> router_b_adapter_;
-  std::unique_ptr<TokenRingDriver> router_a_driver_;
-  std::unique_ptr<TokenRingDriver> router_b_driver_;
-  uint64_t forwarded_ = 0;
-
-  // Sink host on ring B.
-  std::unique_ptr<Machine> dst_machine_;
-  std::unique_ptr<UnixKernel> dst_kernel_;
-  std::unique_ptr<TokenRingAdapter> dst_adapter_;
-  std::unique_ptr<TokenRingDriver> dst_driver_;
-
-  std::unique_ptr<CtmspTransmitter> transmitter_;
-  std::unique_ptr<CtmspReceiver> receiver_;
-  std::unique_ptr<VcaSourceDriver> source_;
-  std::unique_ptr<VcaSinkDriver> sink_;
-
-  std::vector<std::unique_ptr<KernelBackgroundActivity>> activities_;
-  std::vector<std::unique_ptr<MacFrameTraffic>> mac_traffic_;
-  std::vector<std::unique_ptr<GhostTraffic>> keepalives_;
+  std::unique_ptr<StreamEndpoints> stream_;
+  std::unique_ptr<CtmspRelay> relay_;
 };
 
 }  // namespace ctms

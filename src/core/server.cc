@@ -6,105 +6,72 @@
 namespace ctms {
 
 ServerExperiment::ServerExperiment(ServerConfig config)
-    : config_(std::move(config)), sim_(config_.seed), ring_(&sim_) {
-  server_machine_ = std::make_unique<Machine>(&sim_, "server");
-  server_kernel_ = std::make_unique<UnixKernel>(server_machine_.get());
-  disk_ = std::make_unique<MediaDisk>(server_machine_.get());
-  TokenRingAdapter::Config adapter_config;
-  adapter_config.dma_buffer_kind = config_.dma_buffer_kind;
-  server_adapter_ =
-      std::make_unique<TokenRingAdapter>(server_machine_.get(), &ring_, adapter_config);
-  TokenRingDriver::Config driver_config;
-  driver_config.ctms_mode = true;
-  server_driver_ = std::make_unique<TokenRingDriver>(server_kernel_.get(),
-                                                     server_adapter_.get(), &probes_,
-                                                     driver_config);
-  server_activity_ =
-      std::make_unique<KernelBackgroundActivity>(server_machine_.get(), sim_.rng().Fork());
+    : config_(std::move(config)), topo_(config_.seed) {
+  TokenRing& ring = topo_.AddRing();
+
+  Station::PortConfig port;
+  port.adapter.dma_buffer_kind = config_.dma_buffer_kind;
+  port.driver.ctms_mode = true;
+
+  server_ = &topo_.AddStation("server");
+  disk_ = std::make_unique<MediaDisk>(&server_->machine());
+  server_->AttachRing(&ring, &topo_.probes(), port);
+  server_->AttachBackgroundActivity(topo_.sim().rng().Fork());
 
   for (int i = 0; i < config_.clients; ++i) {
     const std::string title = "movie" + std::to_string(i);
     disk_->CreateFile(title, config_.file_bytes);
 
-    auto client = std::make_unique<Client>();
-    client->machine = std::make_unique<Machine>(&sim_, "client" + std::to_string(i));
-    client->kernel = std::make_unique<UnixKernel>(client->machine.get());
-    client->adapter =
-        std::make_unique<TokenRingAdapter>(client->machine.get(), &ring_, adapter_config);
-    client->driver = std::make_unique<TokenRingDriver>(client->kernel.get(),
-                                                       client->adapter.get(), &probes_,
-                                                       driver_config);
-    client->activity =
-        std::make_unique<KernelBackgroundActivity>(client->machine.get(), sim_.rng().Fork());
+    Client client;
+    client.station = &topo_.AddStation("client" + std::to_string(i));
+    client.station->AttachRing(&ring, &topo_.probes(), port);
+    client.station->AttachBackgroundActivity(topo_.sim().rng().Fork());
 
-    CtmspConnectionConfig conn;
-    conn.peer = client->adapter->address();
-    client->transmitter = std::make_unique<CtmspTransmitter>(conn);
-    client->receiver = std::make_unique<CtmspReceiver>(conn);
-
-    MediaServerSource::Config stream_config;
-    stream_config.file = title;
-    stream_config.packet_bytes = config_.packet_bytes;
-    stream_config.period = config_.packet_period;
-    stream_config.read_chunk_bytes = config_.read_chunk_bytes;
-    client->stream = std::make_unique<MediaServerSource>(
-        server_kernel_.get(), disk_.get(), server_driver_.get(), &probes_,
-        client->transmitter.get(), stream_config);
-
-    VcaSinkDriver::Config sink_config;
-    sink_config.playout_bytes = config_.packet_bytes;
-    sink_config.playout_period = config_.packet_period;
-    sink_config.prime_packets = 6;  // disk service jitter needs smoothing
-    client->sink = std::make_unique<VcaSinkDriver>(client->kernel.get(),
-                                                   client->receiver.get(), sink_config);
-    VcaSinkDriver* sink = client->sink.get();
-    client->driver->SetCtmspInput(
-        [sink](const Packet& packet, bool in_dma, std::function<void()> release) {
-          sink->OnCtmspDeliver(packet, in_dma, std::move(release));
-        });
+    StreamEndpoints::MediaConfig media;
+    media.disk = disk_.get();
+    media.source.file = title;
+    media.source.packet_bytes = config_.packet_bytes;
+    media.source.period = config_.packet_period;
+    media.source.read_chunk_bytes = config_.read_chunk_bytes;
+    media.sink.playout_bytes = config_.packet_bytes;
+    media.sink.playout_period = config_.packet_period;
+    media.sink.prime_packets = 6;  // disk service jitter needs smoothing
+    client.endpoints = std::make_unique<StreamEndpoints>(server_, client.station,
+                                                         &topo_.probes(), media);
     clients_.push_back(std::move(client));
   }
 
-  ring_.AddPassiveStations(8);
-  mac_traffic_ = std::make_unique<MacFrameTraffic>(&ring_, sim_.rng().Fork(),
-                                                   MacFrameTraffic::Config{config_.mac_fraction});
-}
-
-ServerExperiment::~ServerExperiment() {
-  // Queued CPU jobs hold mbuf chains owned by the kernels; drain first.
-  server_machine_->cpu().CancelAll();
-  for (auto& client : clients_) {
-    client->machine->cpu().CancelAll();
-  }
+  ring.AddPassiveStations(8);
+  topo_.environment().AddMacTraffic(&ring, MacFrameTraffic::Config{config_.mac_fraction});
 }
 
 ServerReport ServerExperiment::Run() {
-  server_machine_->StartHardclock();
-  server_activity_->Start();
-  mac_traffic_->Start();
+  server_->StartHardclock();
+  server_->StartActivity();
+  topo_.environment().StartMacTraffic();
   SimDuration stagger = 0;
-  for (auto& client : clients_) {
-    client->machine->StartHardclock();
-    client->activity->Start();
-    MediaServerSource* stream = client->stream.get();
-    const RingAddress dst = client->adapter->address();
-    sim_.After(stagger, [stream, dst]() { stream->Start(dst); });
+  for (Client& client : clients_) {
+    client.station->StartHardclock();
+    client.station->StartActivity();
+    StreamEndpoints* endpoints = client.endpoints.get();
+    topo_.sim().After(stagger, [endpoints]() { endpoints->Start(); });
     stagger += config_.packet_period / (config_.clients + 1);
   }
-  sim_.RunFor(config_.duration);
+  topo_.sim().RunFor(config_.duration);
 
   ServerReport report;
   report.config = config_;
-  for (auto& client : clients_) {
+  for (Client& client : clients_) {
+    const StreamStats stats = client.endpoints->Stats();
     ServerClientQuality quality;
-    quality.sent = client->stream->packets_sent();
-    quality.delivered = client->receiver->delivered();
-    quality.lost = client->receiver->lost();
-    quality.server_starvations = client->stream->starvations();
-    quality.underruns = client->sink->underruns();
+    quality.sent = stats.built;
+    quality.delivered = stats.delivered;
+    quality.lost = stats.lost;
+    quality.server_starvations = stats.starvations;
+    quality.underruns = stats.underruns;
     report.clients.push_back(quality);
   }
-  report.server_cpu_utilization = server_machine_->cpu().Utilization();
+  report.server_cpu_utilization = server_->machine().cpu().Utilization();
   report.disk_utilization = disk_->Utilization();
   report.disk_sequential_fraction =
       disk_->stats().reads == 0
@@ -112,7 +79,7 @@ ServerReport ServerExperiment::Run() {
           : static_cast<double>(disk_->stats().sequential_reads) /
                 static_cast<double>(disk_->stats().reads);
   report.disk_worst_service = disk_->stats().worst_service;
-  report.ring_utilization = ring_.Utilization();
+  report.ring_utilization = topo_.ring().Utilization();
   return report;
 }
 

@@ -10,18 +10,11 @@
 #include <vector>
 
 #include "src/dev/disk.h"
-#include "src/dev/media_server.h"
-#include "src/dev/tr_driver.h"
-#include "src/dev/vca.h"
-#include "src/hw/machine.h"
-#include "src/kern/unix_kernel.h"
-#include "src/measure/probe.h"
-#include "src/proto/ctmsp.h"
-#include "src/ring/adapter.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
-#include "src/workload/kernel_activity.h"
-#include "src/workload/ring_traffic.h"
+#include "src/testbed/station.h"
+#include "src/testbed/stream.h"
+#include "src/testbed/topology.h"
 
 namespace ctms {
 
@@ -63,40 +56,25 @@ class ServerExperiment {
 
   ServerExperiment(const ServerExperiment&) = delete;
   ServerExperiment& operator=(const ServerExperiment&) = delete;
-  ~ServerExperiment();
 
   ServerReport Run();
 
-  Simulation& sim() { return sim_; }
+  Simulation& sim() { return topo_.sim(); }
   MediaDisk& disk() { return *disk_; }
+  RingTopology& topology() { return topo_; }
 
  private:
-  struct Client {
-    std::unique_ptr<Machine> machine;
-    std::unique_ptr<UnixKernel> kernel;
-    std::unique_ptr<TokenRingAdapter> adapter;
-    std::unique_ptr<TokenRingDriver> driver;
-    std::unique_ptr<CtmspTransmitter> transmitter;  // server-side connection state
-    std::unique_ptr<CtmspReceiver> receiver;
-    std::unique_ptr<MediaServerSource> stream;
-    std::unique_ptr<VcaSinkDriver> sink;
-    std::unique_ptr<KernelBackgroundActivity> activity;
-  };
-
   ServerConfig config_;
-  Simulation sim_;
-  TokenRing ring_;
-  ProbeBus probes_;
+  RingTopology topo_;
 
-  std::unique_ptr<Machine> server_machine_;
-  std::unique_ptr<UnixKernel> server_kernel_;
+  Station* server_ = nullptr;
   std::unique_ptr<MediaDisk> disk_;
-  std::unique_ptr<TokenRingAdapter> server_adapter_;
-  std::unique_ptr<TokenRingDriver> server_driver_;
-  std::unique_ptr<KernelBackgroundActivity> server_activity_;
 
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::unique_ptr<MacFrameTraffic> mac_traffic_;
+  struct Client {
+    Station* station = nullptr;
+    std::unique_ptr<StreamEndpoints> endpoints;  // media source on the server, sink here
+  };
+  std::vector<Client> clients_;
 };
 
 }  // namespace ctms

@@ -1,0 +1,116 @@
+#include "src/testbed/stream.h"
+
+#include <utility>
+
+namespace ctms {
+
+StreamEndpoints::StreamEndpoints(Station* tx, Station* rx, ProbeBus* probes, Config config)
+    : tx_(tx), rx_(rx), tx_port_(config.tx_port), rx_port_(config.rx_port) {
+  if (config.use_ctmsp) {
+    CtmspConnectionConfig conn = config.connection;
+    if (conn.peer == 0) {
+      conn.peer = rx_->address(rx_port_);
+    }
+    CtmspConnectionConfig receiver_conn = config.receiver_connection.value_or(conn);
+    if (receiver_conn.peer == 0) {
+      receiver_conn.peer = tx_->address(tx_port_);
+    }
+    transmitter_ = std::make_unique<CtmspTransmitter>(conn);
+    receiver_ = std::make_unique<CtmspReceiver>(receiver_conn);
+  }
+  vca_source_ = std::make_unique<VcaSourceDriver>(&tx_->kernel(), &tx_->driver(tx_port_),
+                                                  probes, transmitter_.get(), config.source);
+  sink_ = std::make_unique<VcaSinkDriver>(&rx_->kernel(), receiver_.get(), config.sink);
+  if (config.use_ctmsp && config.wire_rx_input) {
+    VcaSinkDriver* sink = sink_.get();
+    rx_->driver(rx_port_).SetCtmspInput(
+        [sink](const Packet& packet, bool in_dma, std::function<void()> release) {
+          sink->OnCtmspDeliver(packet, in_dma, std::move(release));
+        });
+  }
+}
+
+StreamEndpoints::StreamEndpoints(Station* tx, Station* rx, ProbeBus* probes,
+                                 MediaConfig config)
+    : tx_(tx), rx_(rx), tx_port_(config.tx_port), rx_port_(config.rx_port) {
+  CtmspConnectionConfig conn = config.connection;
+  if (conn.peer == 0) {
+    conn.peer = rx_->address(rx_port_);
+  }
+  transmitter_ = std::make_unique<CtmspTransmitter>(conn);
+  receiver_ = std::make_unique<CtmspReceiver>(conn);
+  media_source_ = std::make_unique<MediaServerSource>(&tx_->kernel(), config.disk,
+                                                      &tx_->driver(tx_port_), probes,
+                                                      transmitter_.get(), config.source);
+  sink_ = std::make_unique<VcaSinkDriver>(&rx_->kernel(), receiver_.get(), config.sink);
+  VcaSinkDriver* sink = sink_.get();
+  rx_->driver(rx_port_).SetCtmspInput(
+      [sink](const Packet& packet, bool in_dma, std::function<void()> release) {
+        sink->OnCtmspDeliver(packet, in_dma, std::move(release));
+      });
+}
+
+void StreamEndpoints::Start(RingAddress destination) {
+  const RingAddress dst = destination != 0 ? destination : rx_->address(rx_port_);
+  if (media_source_ != nullptr) {
+    media_source_->Start(dst);
+    return;
+  }
+  vca_source_->Start(VcaSourceDriver::OutputMode::kCtmspDirect, dst);
+}
+
+StreamStats StreamEndpoints::Stats() const {
+  StreamStats stats;
+  if (vca_source_ != nullptr) {
+    stats.interrupts = vca_source_->interrupts();
+    stats.built = vca_source_->packets_built();
+    stats.mbuf_drops = vca_source_->mbuf_drops();
+    stats.queue_drops = vca_source_->queue_drops();
+  }
+  if (media_source_ != nullptr) {
+    stats.built = media_source_->packets_sent();
+    stats.starvations = media_source_->starvations();
+  }
+  if (receiver_ != nullptr) {
+    stats.delivered = receiver_->delivered();
+    stats.lost = receiver_->lost();
+    stats.duplicates = receiver_->duplicates();
+    stats.out_of_order = receiver_->out_of_order();
+    stats.late_recovered = receiver_->late_recovered();
+  } else {
+    stats.delivered = sink_->packets_accepted();  // no CTMSP layer to count for us
+  }
+  if (transmitter_ != nullptr) {
+    stats.retransmissions = transmitter_->retransmissions();
+  }
+  stats.underruns = sink_->underruns();
+  stats.peak_buffered_bytes = sink_->peak_buffered_bytes();
+  if (!sink_->latency().empty()) {
+    const SummaryStats latency = sink_->latency().Summary();
+    stats.mean_latency = static_cast<SimDuration>(latency.mean);
+    stats.max_latency = latency.max;
+  }
+  return stats;
+}
+
+CtmspRelay::CtmspRelay(Station* station, size_t in_port, size_t out_port,
+                       RingAddress next_hop) {
+  TokenRingDriver* out = &station->driver(out_port);
+  station->driver(in_port).SetCtmspInput([this, out, next_hop](const Packet& packet,
+                                                               bool in_dma_buffer,
+                                                               std::function<void()> release) {
+    Packet forward = packet;
+    forward.dst = next_hop;
+    forward.chain.reset();
+    ++forwarded_;
+    // Via-mbufs in-port: the packet now lives in this station's mbufs and the out-port
+    // driver copies it into its own fixed DMA buffer as usual. Zero-copy (in_dma_buffer):
+    // the out-port transmit is just a descriptor flip, so the rx buffer can be released as
+    // soon as it is queued. Queue overflow shows up in the out driver's statistics.
+    out->OutputCtmsp(forward);
+    release();
+    (void)in_dma_buffer;
+  });
+}
+
+}  // namespace ctms

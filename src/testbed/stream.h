@@ -1,0 +1,118 @@
+// StreamEndpoints: wires one media stream between two stations — the CTMSP transmitter and
+// receiver connection state, the source (a VCA capture device or the media server's
+// disk-backed source), the playout sink, and the receive-side demux — and exposes one
+// per-stream accounting struct that every experiment report draws from.
+
+#ifndef SRC_TESTBED_STREAM_H_
+#define SRC_TESTBED_STREAM_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/dev/disk.h"
+#include "src/dev/media_server.h"
+#include "src/dev/vca.h"
+#include "src/proto/ctmsp.h"
+#include "src/testbed/station.h"
+
+namespace ctms {
+
+// Shared per-stream accounting, filled from whichever components the stream has.
+struct StreamStats {
+  uint64_t interrupts = 0;       // source device interrupts
+  uint64_t built = 0;            // packets produced by the source (sent, for media streams)
+  uint64_t delivered = 0;        // reached the presentation buffer
+  uint64_t lost = 0;
+  uint64_t duplicates = 0;
+  uint64_t out_of_order = 0;
+  uint64_t late_recovered = 0;   // purge losses repaired by a late retransmission
+  uint64_t retransmissions = 0;
+  uint64_t mbuf_drops = 0;
+  uint64_t queue_drops = 0;
+  uint64_t starvations = 0;      // media streams: ticks the disk had not staged a packet
+  uint64_t underruns = 0;
+  int64_t peak_buffered_bytes = 0;
+  SimDuration mean_latency = 0;  // source interrupt to presentation
+  SimDuration max_latency = 0;
+};
+
+class StreamEndpoints {
+ public:
+  struct Config {
+    // Transmitter-side connection; peer of 0 is filled with the rx station's address.
+    CtmspConnectionConfig connection;
+    // Receiver-side connection; unset mirrors `connection`. A set value with peer 0 is
+    // filled with the tx station's address (the point-to-point setup the paper uses).
+    std::optional<CtmspConnectionConfig> receiver_connection;
+    VcaSourceDriver::Config source;
+    VcaSinkDriver::Config sink;
+    // false drops the CTMSP layer entirely (the stock-UNIX baseline): the source delivers
+    // to a process and the sink is fed by hand, so no transmitter/receiver exist and the
+    // receive demux is left alone.
+    bool use_ctmsp = true;
+    // false leaves the rx driver's CTMSP input untouched (routers splice their own).
+    bool wire_rx_input = true;
+    size_t tx_port = 0;
+    size_t rx_port = 0;
+  };
+
+  // A disk-backed server stream (MediaServerSource on tx feeding a sink on rx).
+  struct MediaConfig {
+    CtmspConnectionConfig connection;
+    MediaDisk* disk = nullptr;
+    MediaServerSource::Config source;
+    VcaSinkDriver::Config sink;
+    size_t tx_port = 0;
+    size_t rx_port = 0;
+  };
+
+  StreamEndpoints(Station* tx, Station* rx, ProbeBus* probes, Config config);
+  StreamEndpoints(Station* tx, Station* rx, ProbeBus* probes, MediaConfig config);
+
+  StreamEndpoints(const StreamEndpoints&) = delete;
+  StreamEndpoints& operator=(const StreamEndpoints&) = delete;
+
+  // Starts the source toward `destination` (0 = the rx station's port address). Only for
+  // CTMSP-direct streams; the baseline drives vca_source().Start(...) itself.
+  void Start(RingAddress destination = 0);
+
+  StreamStats Stats() const;
+
+  Station& tx() { return *tx_; }
+  Station& rx() { return *rx_; }
+  CtmspTransmitter& transmitter() { return *transmitter_; }
+  CtmspReceiver& receiver() { return *receiver_; }
+  VcaSourceDriver& vca_source() { return *vca_source_; }
+  MediaServerSource& media_source() { return *media_source_; }
+  VcaSinkDriver& sink() { return *sink_; }
+
+ private:
+  Station* tx_;
+  Station* rx_;
+  size_t tx_port_;
+  size_t rx_port_;
+  std::unique_ptr<CtmspTransmitter> transmitter_;
+  std::unique_ptr<CtmspReceiver> receiver_;
+  std::unique_ptr<VcaSourceDriver> vca_source_;
+  std::unique_ptr<MediaServerSource> media_source_;
+  std::unique_ptr<VcaSinkDriver> sink_;
+};
+
+// A store-and-forward hop: splices a station's in-port CTMSP receive split point straight
+// into its out-port driver (the footnote-5 router, generalized to any chain position). The
+// forwarding cost model follows the port drivers' configs: an in-port that copies rx DMA to
+// mbufs plus a normal out-port is the robust two-copy mode; an in-port that passes the DMA
+// buffer through plus a zero-copy-tx out-port is the pointer-passing mode.
+class CtmspRelay {
+ public:
+  CtmspRelay(Station* station, size_t in_port, size_t out_port, RingAddress next_hop);
+
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_TESTBED_STREAM_H_

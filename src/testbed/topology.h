@@ -1,0 +1,119 @@
+// RingTopology: the composition root for a simulated testbed — one Simulation, one shared
+// ProbeBus, N stations placed on M rings, and one BackgroundEnvironment that owns all the
+// traffic the experiment does not measure (MAC chatter, ghost stations, competing processes,
+// AFS daemons, station insertions).
+//
+// Determinism contract: the simulation is bit-reproducible per seed, so the builder keeps
+// every order-sensitive step at the call site. Stations attach to rings (and thus receive
+// addresses) in the order AttachRing is called; every BackgroundEnvironment::Add* method
+// forks the root RNG at call time, so source order in the experiment constructor IS the
+// fork order; Start* methods insert events in call order, which breaks same-instant ties.
+// Reorder any of these and a same-seed run produces different numbers.
+
+#ifndef SRC_TESTBED_TOPOLOGY_H_
+#define SRC_TESTBED_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kern/process.h"
+#include "src/testbed/station.h"
+#include "src/workload/host_service.h"
+#include "src/workload/ring_traffic.h"
+
+namespace ctms {
+
+// Factory and owner for everything on the wire (or in the hosts) that exists only to load
+// the system. One instance per topology replaces the four private copies the experiment
+// classes used to keep.
+class BackgroundEnvironment {
+ public:
+  explicit BackgroundEnvironment(Simulation* sim) : sim_(sim) {}
+
+  // --- ring-level traffic -----------------------------------------------------------------
+  MacFrameTraffic& AddMacTraffic(TokenRing* ring, MacFrameTraffic::Config config = {});
+  GhostTraffic& AddGhostTraffic(TokenRing* ring, GhostTraffic::Config config);
+  InsertionSchedule& AddInsertions(TokenRing* ring, InsertionSchedule::Config config);
+
+  // Presets for the campus-ring mix the paper describes (section 5.3).
+  // ARP + AFS keep-alive chatter between the other machines on the ring.
+  GhostTraffic& AddKeepaliveChatter(TokenRing* ring, SimDuration interarrival_mean);
+  // Compile/file-transfer bursts of maximum-size LLC frames.
+  GhostTraffic& AddTransferBursts(TokenRing* ring, SimDuration interarrival_mean);
+  // The central control machine polling a test host over its socket connection.
+  GhostTraffic& AddControlPolls(TokenRing* ring, RingAddress target);
+  // AFS cache-refill bursts arriving AT a host, loading its receive path.
+  GhostTraffic& AddAfsFetchBursts(TokenRing* ring, RingAddress target);
+
+  // --- host-attached services -------------------------------------------------------------
+  CompetingProcess& AddCompetingProcess(UnixKernel* kernel, const std::string& name,
+                                        CompetingProcess::Config config = {});
+  ControlServiceProcess& AddControlService(UnixKernel* kernel, UdpLayer* udp);
+  AfsClientDaemon& AddAfsClient(UnixKernel* kernel, UdpLayer* udp,
+                                AfsClientDaemon::Config config);
+
+  // Granular starts so each experiment can keep its historical event-insertion order; each
+  // starts its group in Add* call order.
+  void StartMacTraffic();
+  void StartGhosts();
+  void StartCompeting();
+  void StartAfsClients();
+  void StartInsertions();
+  // Canonical bring-up for new topologies: everything, in the groups' declaration order.
+  void StartAll();
+
+ private:
+  Simulation* sim_;
+  std::vector<std::unique_ptr<MacFrameTraffic>> macs_;
+  std::vector<std::unique_ptr<GhostTraffic>> ghosts_;
+  std::vector<std::unique_ptr<CompetingProcess>> competing_;
+  std::vector<std::unique_ptr<ControlServiceProcess>> control_services_;
+  std::vector<std::unique_ptr<AfsClientDaemon>> afs_clients_;
+  std::vector<std::unique_ptr<InsertionSchedule>> insertions_;
+};
+
+class RingTopology {
+ public:
+  explicit RingTopology(uint64_t seed);
+
+  RingTopology(const RingTopology&) = delete;
+  RingTopology& operator=(const RingTopology&) = delete;
+
+  // Drains every station's CPU before destroying any of them: a queued job on one station
+  // can hold mbuf chains from a peer's kernel (TCP acks, relayed packets), so per-station
+  // teardown in destruction order would free a pool another station's queue still uses.
+  ~RingTopology();
+
+  TokenRing& AddRing(TokenRing::Config config = {});
+  // Station names must be unique: telemetry instances (cpu.<name>.…) and the hardclock
+  // phase both derive from them.
+  Station& AddStation(const std::string& name);
+
+  Simulation& sim() { return sim_; }
+  ProbeBus& probes() { return probes_; }
+  BackgroundEnvironment& environment() { return environment_; }
+
+  size_t ring_count() const { return rings_.size(); }
+  TokenRing& ring(size_t index = 0) { return *rings_[index]; }
+  size_t station_count() const { return stations_.size(); }
+  Station& station(size_t index) { return *stations_[index]; }
+  // Lookup by name; returns nullptr if absent.
+  Station* FindStation(const std::string& name);
+
+  // Starts every station (hardclock then background activity) in creation order.
+  void StartStations();
+  // Stations, then the whole environment.
+  void StartAll();
+
+ private:
+  Simulation sim_;
+  ProbeBus probes_;
+  std::vector<std::unique_ptr<TokenRing>> rings_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  BackgroundEnvironment environment_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_TESTBED_TOPOLOGY_H_

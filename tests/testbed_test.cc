@@ -1,0 +1,284 @@
+// Tests for the testbed composition layer (src/testbed/): the Station teardown contract,
+// topologies the experiment classes cannot express, and golden equivalence — the five
+// experiments rebuilt on the testbed must produce the exact same-seed numbers as the
+// hand-wired versions they replaced (captured before the refactor).
+
+#include <gtest/gtest.h>
+
+#include "src/core/ctms.h"
+
+namespace ctms {
+namespace {
+
+// ---------------------------------------------------------------------------------------
+// Teardown order. Queued CPU jobs hold packets whose mbuf chains live in the kernels'
+// pools; stopping mid-flight and destroying everything must not touch freed memory (the
+// ASan build is the real assertion here).
+
+TEST(TestbedTeardown, MidFlightDestructionIsClean) {
+  for (int run = 0; run < 2; ++run) {
+    RingTopology topo(7);
+    TokenRing& ring = topo.AddRing();
+    Station::PortConfig port;
+    port.driver.ctms_mode = true;
+    Station& tx = topo.AddStation("tx");
+    tx.AttachRing(&ring, &topo.probes(), port);
+    Station& rx = topo.AddStation("rx");
+    rx.AttachRing(&ring, &topo.probes(), port);
+    // The stream outlives nothing: declared after the topology, it is destroyed first,
+    // while the kernels (and their mbuf pools) are still alive — the documented order.
+    StreamEndpoints::Config config;
+    StreamEndpoints stream(&tx, &rx, &topo.probes(), config);
+    topo.environment().AddMacTraffic(&ring, MacFrameTraffic::Config{0.01});
+    topo.StartAll();
+    stream.Start();
+    // Stop at an offset that is not a multiple of the 12 ms packet period, so device
+    // interrupts, driver jobs, and in-DMA receive work are queued when the world ends.
+    topo.sim().RunFor(Milliseconds(40) + Microseconds(run == 0 ? 137 : 4211));
+    EXPECT_GT(stream.Stats().built, 0u);
+  }
+}
+
+TEST(TestbedTeardown, StandaloneStationDrainsItsOwnCpu) {
+  RingTopology topo(9);
+  TokenRing& ring = topo.AddRing();
+  Station::PortConfig port;
+  port.driver.ctms_mode = true;
+  Station& solo = topo.AddStation("solo");
+  solo.AttachRing(&ring, &topo.probes(), port);
+  solo.AttachBackgroundActivity(topo.sim().rng().Fork());
+  solo.Start();
+  topo.sim().RunFor(Milliseconds(17));
+  // ~Station drains the CPU itself; a second explicit drain must be harmless.
+  solo.CancelJobs();
+}
+
+// ---------------------------------------------------------------------------------------
+// A topology the pre-testbed experiment classes could not express: four stations on three
+// rings, forwarding one CTMSP stream across two store-and-forward hops.
+
+struct ChainResult {
+  StreamStats stats;
+  uint64_t forwarded_hop1 = 0;
+  uint64_t forwarded_hop2 = 0;
+  int64_t stations_gauge = 0;
+  int64_t rings_gauge = 0;
+};
+
+ChainResult RunChain(uint64_t seed, SimDuration duration) {
+  RingTopology topo(seed);
+  TokenRing& ring_a = topo.AddRing();
+  TokenRing& ring_b = topo.AddRing();
+  TokenRing& ring_c = topo.AddRing();
+
+  Station::PortConfig port;
+  port.driver.ctms_mode = true;
+
+  Station& src = topo.AddStation("src");
+  src.AttachRing(&ring_a, &topo.probes(), port);
+  Station& hop1 = topo.AddStation("hop1");
+  hop1.AttachRing(&ring_a, &topo.probes(), port);
+  hop1.AttachRing(&ring_b, &topo.probes(), port);
+  Station& hop2 = topo.AddStation("hop2");
+  hop2.AttachRing(&ring_b, &topo.probes(), port);
+  hop2.AttachRing(&ring_c, &topo.probes(), port);
+  Station& dst = topo.AddStation("dst");
+  dst.AttachRing(&ring_c, &topo.probes(), port);
+
+  StreamEndpoints::Config config;
+  config.sink.prime_packets = 6;  // two extra hops of jitter
+  StreamEndpoints stream(&src, &dst, &topo.probes(), config);
+  CtmspRelay relay1(&hop1, /*in_port=*/0, /*out_port=*/1, hop2.address(0));
+  CtmspRelay relay2(&hop2, /*in_port=*/0, /*out_port=*/1, dst.address());
+
+  topo.environment().AddMacTraffic(&ring_b, MacFrameTraffic::Config{0.002});
+  topo.StartAll();
+  stream.Start(hop1.address(0));
+  topo.sim().RunFor(duration);
+
+  ChainResult result;
+  result.stats = stream.Stats();
+  result.forwarded_hop1 = relay1.forwarded();
+  result.forwarded_hop2 = relay2.forwarded();
+  result.stations_gauge = topo.sim().telemetry().metrics.GetGauge("topology.stations")->value();
+  result.rings_gauge = topo.sim().telemetry().metrics.GetGauge("topology.rings")->value();
+  return result;
+}
+
+TEST(ChainTopology, TwoHopRelayChainDelivers) {
+  const ChainResult result = RunChain(/*seed=*/11, Seconds(3));
+  EXPECT_GT(result.stats.built, 200u);
+  EXPECT_EQ(result.stats.lost, 0u);
+  EXPECT_GE(result.forwarded_hop1, result.stats.delivered);
+  EXPECT_GE(result.forwarded_hop2, result.stats.delivered);
+  EXPECT_GT(result.stats.delivered + 6, result.stats.built);  // at most in-flight shortfall
+  EXPECT_EQ(result.stations_gauge, 4);
+  EXPECT_EQ(result.rings_gauge, 3);
+}
+
+TEST(ChainTopology, SameSeedRunsAreIdentical) {
+  const ChainResult a = RunChain(/*seed=*/11, Seconds(3));
+  const ChainResult b = RunChain(/*seed=*/11, Seconds(3));
+  EXPECT_EQ(a.stats.built, b.stats.built);
+  EXPECT_EQ(a.stats.delivered, b.stats.delivered);
+  EXPECT_EQ(a.stats.lost, b.stats.lost);
+  EXPECT_EQ(a.stats.underruns, b.stats.underruns);
+  EXPECT_EQ(a.stats.mean_latency, b.stats.mean_latency);
+  EXPECT_EQ(a.stats.max_latency, b.stats.max_latency);
+  EXPECT_EQ(a.forwarded_hop1, b.forwarded_hop1);
+  EXPECT_EQ(a.forwarded_hop2, b.forwarded_hop2);
+}
+
+// ---------------------------------------------------------------------------------------
+// Golden equivalence. These exact numbers were produced by the pre-testbed experiment
+// classes (each building its hosts by hand) at the same seeds. The refactor must be
+// numerically invisible: construction order, RNG fork order, and event insertion order all
+// feed the event queue's tie-breaking, so any drift shows up here as a hard failure.
+
+TEST(GoldenEquivalence, CtmsTestCaseBFiveSecondsSeed3) {
+  ScenarioConfig config = TestCaseB();
+  config.duration = Seconds(5);
+  config.seed = 3;
+  const ExperimentReport r = CtmsExperiment(config).Run();
+  EXPECT_EQ(r.packets_built, 416u);
+  EXPECT_EQ(r.packets_delivered, 415u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.out_of_order, 0u);
+  EXPECT_EQ(r.source_mbuf_drops, 0u);
+  EXPECT_EQ(r.source_queue_drops, 0u);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.sink_underruns, 0u);
+  EXPECT_EQ(r.sink_peak_buffer, 20000);
+  EXPECT_NEAR(r.tx_cpu_utilization, 0.482618136400, 1e-9);
+  EXPECT_NEAR(r.rx_cpu_utilization, 0.606978853400, 1e-9);
+  EXPECT_NEAR(r.ring_utilization, 0.465686150000, 1e-9);
+  EXPECT_EQ(r.ring_purges, 0u);
+  ASSERT_FALSE(r.ground_truth.pre_tx_to_rx.empty());
+  EXPECT_EQ(r.ground_truth.pre_tx_to_rx.Summary().min, 10773851);
+  EXPECT_NEAR(r.ground_truth.pre_tx_to_rx.Summary().mean, 11336996.361446, 1e-3);
+}
+
+TEST(GoldenEquivalence, BaselineUdpTenSecondsSeed4) {
+  BaselineConfig config;
+  config.packet_bytes = 2000;
+  config.duration = Seconds(10);
+  config.seed = 4;
+  const BaselineReport r = BaselineExperiment(config).Run();
+  EXPECT_EQ(r.packets_captured, 833u);
+  EXPECT_EQ(r.packets_delivered, 672u);
+  EXPECT_EQ(r.source_mbuf_drops, 0u);
+  EXPECT_EQ(r.tx_relay_rcvbuf_drops, 0u);
+  EXPECT_EQ(r.tx_ifsnd_drops, 0u);
+  EXPECT_EQ(r.rx_ipintr_drops, 0u);
+  EXPECT_EQ(r.rx_relay_rcvbuf_drops, 150u);
+  EXPECT_EQ(r.rx_adapter_overruns, 0u);
+  EXPECT_EQ(r.sink_underruns, 154u);
+  EXPECT_NEAR(r.tx_cpu_utilization, 0.966307288500, 1e-9);
+  EXPECT_NEAR(r.rx_cpu_utilization, 0.997320494500, 1e-9);
+  EXPECT_NEAR(r.ring_utilization, 0.383965450000, 1e-9);
+}
+
+TEST(GoldenEquivalence, BaselineTcpSixSecondsSeed4) {
+  BaselineConfig config;
+  config.packet_bytes = 2000;
+  config.duration = Seconds(6);
+  config.seed = 4;
+  config.use_tcp = true;
+  const BaselineReport r = BaselineExperiment(config).Run();
+  EXPECT_EQ(r.packets_captured, 499u);
+  EXPECT_EQ(r.packets_delivered, 344u);
+  EXPECT_EQ(r.tcp_retransmits, 0u);
+  EXPECT_EQ(r.sink_underruns, 148u);
+  EXPECT_NEAR(r.ring_utilization, 0.377491083333, 1e-9);
+}
+
+TEST(GoldenEquivalence, MultiStreamTwoStreamsTenSecondsSeed2) {
+  MultiStreamConfig config;
+  config.streams = 2;
+  config.duration = Seconds(10);
+  config.seed = 2;
+  const MultiStreamReport r = MultiStreamExperiment(config).Run();
+  EXPECT_NEAR(r.ring_utilization, 0.682700475000, 1e-9);
+  ASSERT_EQ(r.streams.size(), 2u);
+  EXPECT_EQ(r.streams[0].built, 833u);
+  EXPECT_EQ(r.streams[0].delivered, 832u);
+  EXPECT_EQ(r.streams[0].lost, 0u);
+  EXPECT_EQ(r.streams[0].queue_drops, 0u);
+  EXPECT_EQ(r.streams[0].underruns, 0u);
+  EXPECT_EQ(r.streams[0].mean_latency, 17688943);
+  EXPECT_EQ(r.streams[0].max_latency, 21222329);
+  EXPECT_EQ(r.streams[1].built, 832u);
+  EXPECT_EQ(r.streams[1].delivered, 831u);
+  EXPECT_EQ(r.streams[1].lost, 0u);
+  EXPECT_EQ(r.streams[1].queue_drops, 0u);
+  EXPECT_EQ(r.streams[1].underruns, 0u);
+  EXPECT_EQ(r.streams[1].mean_latency, 17859010);
+  EXPECT_EQ(r.streams[1].max_latency, 21365951);
+}
+
+TEST(GoldenEquivalence, ServerTwoClientsTenSecondsSeed2) {
+  ServerConfig config;
+  config.clients = 2;
+  config.packet_bytes = 1000;
+  config.read_chunk_bytes = 32 * 1024;
+  config.duration = Seconds(10);
+  config.seed = 2;
+  const ServerReport r = ServerExperiment(config).Run();
+  EXPECT_NEAR(r.server_cpu_utilization, 0.424749443200, 1e-9);
+  EXPECT_NEAR(r.disk_utilization, 0.193609786300, 1e-9);
+  EXPECT_NEAR(r.disk_sequential_fraction, 0.055555555556, 1e-9);
+  EXPECT_EQ(r.disk_worst_service, 44722185);
+  EXPECT_NEAR(r.ring_utilization, 0.344614200000, 1e-9);
+  ASSERT_EQ(r.clients.size(), 2u);
+  for (const ServerClientQuality& client : r.clients) {
+    EXPECT_EQ(client.sent, 827u);
+    EXPECT_EQ(client.delivered, 826u);
+    EXPECT_EQ(client.lost, 0u);
+    EXPECT_EQ(client.server_starvations, 0u);
+    EXPECT_EQ(client.underruns, 0u);
+  }
+}
+
+TEST(GoldenEquivalence, RouterViaMbufsTenSecondsSeed2) {
+  RouterConfig config;
+  config.forward_via_mbufs = true;
+  config.duration = Seconds(10);
+  config.seed = 2;
+  const RouterReport r = RouterExperiment(config).Run();
+  EXPECT_EQ(r.packets_built, 833u);
+  EXPECT_EQ(r.packets_forwarded, 832u);
+  EXPECT_EQ(r.packets_delivered, 830u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.router_queue_drops, 0u);
+  EXPECT_EQ(r.sink_underruns, 0u);
+  EXPECT_NEAR(r.router_cpu_utilization, 0.408207773400, 1e-9);
+  EXPECT_NEAR(r.ring_a_utilization, 0.344999800000, 1e-9);
+  EXPECT_NEAR(r.ring_b_utilization, 0.343060425000, 1e-9);
+  ASSERT_FALSE(r.end_to_end.empty());
+  EXPECT_EQ(r.end_to_end.Summary().min, 32411604);
+  EXPECT_NEAR(r.end_to_end.Summary().mean, 32912288.467470, 1e-3);
+}
+
+TEST(GoldenEquivalence, RouterZeroCopyTenSecondsSeed2) {
+  RouterConfig config;
+  config.forward_via_mbufs = false;
+  config.duration = Seconds(10);
+  config.seed = 2;
+  const RouterReport r = RouterExperiment(config).Run();
+  EXPECT_EQ(r.packets_built, 833u);
+  EXPECT_EQ(r.packets_forwarded, 832u);
+  EXPECT_EQ(r.packets_delivered, 831u);
+  EXPECT_EQ(r.packets_lost, 0u);
+  EXPECT_EQ(r.router_queue_drops, 0u);
+  EXPECT_EQ(r.sink_underruns, 0u);
+  EXPECT_NEAR(r.router_cpu_utilization, 0.071811881700, 1e-9);
+  EXPECT_NEAR(r.ring_a_utilization, 0.344999800000, 1e-9);
+  EXPECT_NEAR(r.ring_b_utilization, 0.343060425000, 1e-9);
+  ASSERT_FALSE(r.end_to_end.empty());
+  EXPECT_EQ(r.end_to_end.Summary().min, 28348868);
+  EXPECT_NEAR(r.end_to_end.Summary().mean, 28735800.714458, 1e-3);
+}
+
+}  // namespace
+}  // namespace ctms

@@ -5,7 +5,10 @@
 //   ctms_sim --scenario=A --duration=60
 //   ctms_sim --scenario=B --duration=120 --histogram=6 --bin-us=500
 //   ctms_sim --scenario=B --zero-copy --method=truth
-//   ctms_sim --baseline --packet-bytes=2000 --tcp
+//   ctms_sim --experiment=baseline --packet-bytes=2000 --tcp
+//   ctms_sim --experiment=multistream --streams=3 --duration=20
+//   ctms_sim --experiment=server --clients=2 --duration=20
+//   ctms_sim --experiment=router --zero-copy
 //   ctms_sim --scenario=B --csv-prefix=/tmp/run1 --duration=300
 //
 // Prints the experiment summary, optionally an ASCII histogram, and optionally exports all
@@ -18,6 +21,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <variant>
 
 #include "src/core/ctms.h"
 #include "src/measure/export.h"
@@ -28,13 +32,16 @@ namespace {
 using namespace ctms;
 
 struct Options {
+  std::string experiment = "ctms";
   std::string scenario = "A";
-  bool baseline = false;
+  bool baseline = false;  // legacy spelling of --experiment=baseline
   bool tcp = false;
   int64_t duration_s = 30;
   uint64_t seed = 1;
   int64_t packet_bytes = 2000;
   int64_t period_ms = 12;
+  int64_t streams = 2;
+  int64_t clients = 2;
   std::string memory = "iocm";
   std::string method = "pcat";
   bool driver_priority = true;
@@ -55,10 +62,13 @@ struct Options {
 void PrintUsage() {
   std::printf(
       "ctms_sim — reproduce the USENIX'91 CTMS experiments\n\n"
-      "scenario selection:\n"
+      "experiment selection:\n"
+      "  --experiment=NAME     ctms (default), baseline, multistream, server, or router\n"
       "  --scenario=A|B        Test Case A (private quiet ring) or B (loaded public ring)\n"
-      "  --baseline            run the stock UNIX relay path instead of CTMS\n"
-      "  --tcp                 baseline uses TCP-lite instead of UDP\n\n"
+      "  --baseline            shorthand for --experiment=baseline\n"
+      "  --tcp                 baseline uses TCP-lite instead of UDP\n"
+      "  --streams=N           multistream: concurrent CTMSP connections (default 2)\n"
+      "  --clients=N           server: client machines fed from one media disk (default 2)\n\n"
       "stream and environment:\n"
       "  --duration=SECONDS    simulated run length (default 30)\n"
       "  --seed=N              simulation seed (default 1)\n"
@@ -67,7 +77,7 @@ void PrintUsage() {
       "  --memory=iocm|system  fixed DMA buffer placement\n"
       "  --no-driver-priority  CTMSP shares if_snd with ARP/IP\n"
       "  --ring-priority=N     Token Ring access priority, 0=off (default 6)\n"
-      "  --zero-copy           pointer-passing transmit (the section-2 extension)\n"
+      "  --zero-copy           pointer-passing transmit (router: zero-copy forwarding)\n"
       "  --retransmit          MAC-receive purge recovery\n"
       "  --insertions=MINUTES  mean minutes between station insertions (0=off)\n"
       "  --trace=FILE          replay a background-traffic CSV (offset_us,bytes) on loop\n\n"
@@ -82,115 +92,171 @@ void PrintUsage() {
       "  --print-metrics       print every telemetry counter after the run\n");
 }
 
-bool ParseFlag(const std::string& arg, const std::string& name, std::string* value) {
-  const std::string prefix = "--" + name + "=";
-  if (arg.rfind(prefix, 0) == 0) {
-    *value = arg.substr(prefix.size());
-    return true;
-  }
-  return false;
+// ---------------------------------------------------------------------------------------
+// Table-driven flag parsing. Three tables describe every flag: presence flags that set a
+// bool, value flags that fill a member, and post-parse validations. Adding a flag is one
+// table row; the parse loop and the error paths are shared.
+
+struct BoolFlag {
+  const char* name;
+  bool Options::*field;
+  bool value;  // what presence of the flag sets the field to
+};
+
+constexpr BoolFlag kBoolFlags[] = {
+    {"baseline", &Options::baseline, true},
+    {"tcp", &Options::tcp, true},
+    {"no-driver-priority", &Options::driver_priority, false},
+    {"zero-copy", &Options::zero_copy, true},
+    {"retransmit", &Options::retransmit, true},
+    {"ground-truth", &Options::ground_truth_output, true},
+    {"print-metrics", &Options::print_metrics, true},
+};
+
+using ValueTarget = std::variant<std::string Options::*, int64_t Options::*,
+                                 uint64_t Options::*, int Options::*>;
+
+struct ValueFlag {
+  const char* name;
+  ValueTarget target;
+  bool require_nonempty;  // reject `--flag=` when the value is mandatory
+};
+
+const ValueFlag kValueFlags[] = {
+    {"experiment", &Options::experiment, true},
+    {"scenario", &Options::scenario, true},
+    {"duration", &Options::duration_s, false},
+    {"seed", &Options::seed, false},
+    {"packet-bytes", &Options::packet_bytes, false},
+    {"period-ms", &Options::period_ms, false},
+    {"streams", &Options::streams, false},
+    {"clients", &Options::clients, false},
+    {"memory", &Options::memory, true},
+    {"method", &Options::method, true},
+    {"ring-priority", &Options::ring_priority, false},
+    {"insertions", &Options::insertion_mean_min, false},
+    {"histogram", &Options::histogram, false},
+    {"bin-us", &Options::bin_us, false},
+    {"csv-prefix", &Options::csv_prefix, false},
+    {"trace", &Options::trace_path, false},
+    {"metrics-json", &Options::metrics_json, true},
+    {"trace-json", &Options::trace_json, true},
+};
+
+void StoreValue(Options* options, const ValueTarget& target, const std::string& value) {
+  std::visit(
+      [&](auto member) {
+        using Field = std::remove_reference_t<decltype(options->*member)>;
+        if constexpr (std::is_same_v<Field, std::string>) {
+          options->*member = value;
+        } else {
+          options->*member = static_cast<Field>(std::atoll(value.c_str()));
+        }
+      },
+      target);
 }
+
+// A string flag restricted to an enumerated set of spellings.
+struct ChoiceCheck {
+  const char* name;
+  std::string Options::*field;
+  std::initializer_list<const char*> allowed;
+};
+
+const ChoiceCheck kChoiceChecks[] = {
+    {"experiment", &Options::experiment, {"ctms", "baseline", "multistream", "server", "router"}},
+    {"scenario", &Options::scenario, {"A", "B"}},
+    {"memory", &Options::memory, {"iocm", "system"}},
+    {"method", &Options::method, {"pcat", "rtpc", "logic", "truth"}},
+};
+
+// A numeric flag with an inclusive valid range.
+struct RangeCheck {
+  const char* name;
+  std::variant<int64_t Options::*, int Options::*> field;
+  int64_t min;
+  int64_t max;
+  const char* message;
+};
+
+const RangeCheck kRangeChecks[] = {
+    {"duration", &Options::duration_s, 1, INT64_MAX,
+     "--duration must be a positive number of seconds"},
+    {"packet-bytes", &Options::packet_bytes, 1, INT64_MAX, "--packet-bytes must be positive"},
+    {"period-ms", &Options::period_ms, 1, INT64_MAX, "--period-ms must be positive"},
+    {"streams", &Options::streams, 1, 16, "--streams must be between 1 and 16"},
+    {"clients", &Options::clients, 1, 16, "--clients must be between 1 and 16"},
+    {"histogram", &Options::histogram, 0, 7,
+     "--histogram must be between 1 and 7, or 0 for none"},
+};
 
 bool ParseOptions(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string value;
     if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return false;
-    } else if (arg == "--baseline") {
-      options->baseline = true;
-    } else if (arg == "--tcp") {
-      options->tcp = true;
-    } else if (arg == "--no-driver-priority") {
-      options->driver_priority = false;
-    } else if (arg == "--zero-copy") {
-      options->zero_copy = true;
-    } else if (arg == "--retransmit") {
-      options->retransmit = true;
-    } else if (arg == "--ground-truth") {
-      options->ground_truth_output = true;
-    } else if (arg == "--print-metrics") {
-      options->print_metrics = true;
-    } else if (ParseFlag(arg, "scenario", &value)) {
-      options->scenario = value;
-    } else if (ParseFlag(arg, "duration", &value)) {
-      options->duration_s = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "seed", &value)) {
-      options->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(arg, "packet-bytes", &value)) {
-      options->packet_bytes = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "period-ms", &value)) {
-      options->period_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "memory", &value)) {
-      options->memory = value;
-    } else if (ParseFlag(arg, "method", &value)) {
-      options->method = value;
-    } else if (ParseFlag(arg, "ring-priority", &value)) {
-      options->ring_priority = std::atoi(value.c_str());
-    } else if (ParseFlag(arg, "insertions", &value)) {
-      options->insertion_mean_min = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "histogram", &value)) {
-      options->histogram = std::atoi(value.c_str());
-    } else if (ParseFlag(arg, "bin-us", &value)) {
-      options->bin_us = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "csv-prefix", &value)) {
-      options->csv_prefix = value;
-    } else if (ParseFlag(arg, "trace", &value)) {
-      options->trace_path = value;
-    } else if (ParseFlag(arg, "metrics-json", &value)) {
-      if (value.empty()) {
-        std::fprintf(stderr, "--metrics-json requires a file path (try --help)\n");
+    }
+    bool matched = false;
+    for (const BoolFlag& flag : kBoolFlags) {
+      if (arg == std::string("--") + flag.name) {
+        options->*flag.field = flag.value;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    for (const ValueFlag& flag : kValueFlags) {
+      const std::string prefix = std::string("--") + flag.name + "=";
+      if (arg.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      const std::string value = arg.substr(prefix.size());
+      if (flag.require_nonempty && value.empty()) {
+        std::fprintf(stderr, "--%s requires a value (try --help)\n", flag.name);
         return false;
       }
-      options->metrics_json = value;
-    } else if (ParseFlag(arg, "trace-json", &value)) {
-      if (value.empty()) {
-        std::fprintf(stderr, "--trace-json requires a file path (try --help)\n");
-        return false;
-      }
-      options->trace_json = value;
-    } else {
+      StoreValue(options, flag.target, value);
+      matched = true;
+      break;
+    }
+    if (!matched) {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
       return false;
     }
   }
-  if (options->duration_s <= 0) {
-    std::fprintf(stderr, "--duration must be a positive number of seconds (try --help)\n");
-    return false;
+  if (options->baseline) {
+    options->experiment = "baseline";
   }
-  if (options->packet_bytes <= 0) {
-    std::fprintf(stderr, "--packet-bytes must be positive (try --help)\n");
-    return false;
+  for (const ChoiceCheck& check : kChoiceChecks) {
+    const std::string& value = options->*check.field;
+    if (std::none_of(check.allowed.begin(), check.allowed.end(),
+                     [&](const char* allowed) { return value == allowed; })) {
+      std::string expected;
+      for (const char* allowed : check.allowed) {
+        expected += expected.empty() ? allowed : std::string(" or ") + allowed;
+      }
+      std::fprintf(stderr, "unknown --%s=%s (expected %s; try --help)\n", check.name,
+                   value.c_str(), expected.c_str());
+      return false;
+    }
   }
-  if (options->period_ms <= 0) {
-    std::fprintf(stderr, "--period-ms must be positive (try --help)\n");
-    return false;
-  }
-  if (options->histogram < 0 || options->histogram > 7) {
-    std::fprintf(stderr, "--histogram must be between 1 and 7, or 0 for none (try --help)\n");
-    return false;
-  }
-  if (options->scenario != "A" && options->scenario != "B") {
-    std::fprintf(stderr, "unknown --scenario=%s (expected A or B; try --help)\n",
-                 options->scenario.c_str());
-    return false;
-  }
-  if (options->memory != "iocm" && options->memory != "system") {
-    std::fprintf(stderr, "unknown --memory=%s (expected iocm or system; try --help)\n",
-                 options->memory.c_str());
-    return false;
-  }
-  if (options->method != "pcat" && options->method != "rtpc" && options->method != "logic" &&
-      options->method != "truth") {
-    std::fprintf(stderr, "unknown --method=%s (expected pcat, rtpc, logic or truth; try --help)\n",
-                 options->method.c_str());
-    return false;
+  for (const RangeCheck& check : kRangeChecks) {
+    const int64_t value = std::visit(
+        [&](auto member) { return static_cast<int64_t>(options->*member); }, check.field);
+    if (value < check.min || value > check.max) {
+      std::fprintf(stderr, "%s (try --help)\n", check.message);
+      return false;
+    }
   }
   return true;
 }
 
-// Post-run telemetry output shared by the CTMS and baseline paths. Returns false if a
+// ---------------------------------------------------------------------------------------
+
+// Post-run telemetry output shared by all experiment front ends. Returns false if a
 // requested file could not be written.
 bool EmitTelemetry(const Options& options, Simulation& sim, const RunSummaryInfo& info) {
   bool ok = true;
@@ -218,6 +284,18 @@ bool EmitTelemetry(const Options& options, Simulation& sim, const RunSummaryInfo
     }
   }
   return ok;
+}
+
+RunSummaryInfo MakeInfo(const Options& options, std::string scenario) {
+  RunSummaryInfo info;
+  info.scenario = std::move(scenario);
+  info.duration_s = static_cast<double>(options.duration_s);
+  info.seed = options.seed;
+  return info;
+}
+
+MemoryKind MemoryKindFor(const Options& options) {
+  return options.memory == "system" ? MemoryKind::kSystemMemory : MemoryKind::kIoChannelMemory;
 }
 
 const Histogram* SelectHistogram(const PaperHistograms& histograms, int number) {
@@ -248,8 +326,7 @@ int RunBaseline(const Options& options) {
   config.use_tcp = options.tcp;
   config.duration = Seconds(options.duration_s);
   config.seed = options.seed;
-  config.dma_buffer_kind = options.memory == "system" ? MemoryKind::kSystemMemory
-                                                      : MemoryKind::kIoChannelMemory;
+  config.dma_buffer_kind = MemoryKindFor(options);
   BaselineExperiment experiment(config);
   if (!options.trace_json.empty()) {
     experiment.sim().telemetry().tracer.set_enabled(true);
@@ -260,14 +337,125 @@ int RunBaseline(const Options& options) {
     WriteSamplesCsv(report.end_to_end_latency, options.csv_prefix + "_latency.csv");
     std::printf("wrote %s_latency.csv\n", options.csv_prefix.c_str());
   }
-  RunSummaryInfo info;
-  info.scenario = options.tcp ? "baseline-tcp" : "baseline-udp";
-  info.duration_s = static_cast<double>(options.duration_s);
-  info.seed = options.seed;
+  RunSummaryInfo info = MakeInfo(options, options.tcp ? "baseline-tcp" : "baseline-udp");
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
   }
   return report.Sustained() ? 0 : 2;
+}
+
+int RunMultiStream(const Options& options) {
+  MultiStreamConfig config;
+  config.streams = static_cast<int>(options.streams);
+  config.packet_bytes = options.packet_bytes;
+  config.packet_period = Milliseconds(options.period_ms);
+  config.dma_buffer_kind = MemoryKindFor(options);
+  config.ring_priority = options.ring_priority;
+  config.duration = Seconds(options.duration_s);
+  config.seed = options.seed;
+  MultiStreamExperiment experiment(config);
+  if (!options.trace_json.empty()) {
+    experiment.sim().telemetry().tracer.set_enabled(true);
+  }
+  const MultiStreamReport report = experiment.Run();
+  std::cout << report.Summary();
+  RunSummaryInfo info = MakeInfo(options, "multistream");
+  uint64_t built = 0;
+  uint64_t delivered = 0;
+  uint64_t lost = 0;
+  uint64_t underruns = 0;
+  for (const StreamQuality& stream : report.streams) {
+    built += stream.built;
+    delivered += stream.delivered;
+    lost += stream.lost;
+    underruns += stream.underruns;
+  }
+  info.stats = {
+      {"streams", static_cast<double>(report.streams.size())},
+      {"packets_built", static_cast<double>(built)},
+      {"packets_delivered", static_cast<double>(delivered)},
+      {"packets_lost", static_cast<double>(lost)},
+      {"sink_underruns", static_cast<double>(underruns)},
+      {"ring_utilization", report.ring_utilization},
+  };
+  if (!EmitTelemetry(options, experiment.sim(), info)) {
+    return 1;
+  }
+  return report.AllSustained() ? 0 : 2;
+}
+
+int RunServer(const Options& options) {
+  ServerConfig config;
+  config.clients = static_cast<int>(options.clients);
+  config.packet_bytes = options.packet_bytes;
+  config.packet_period = Milliseconds(options.period_ms);
+  config.dma_buffer_kind = MemoryKindFor(options);
+  config.duration = Seconds(options.duration_s);
+  config.seed = options.seed;
+  ServerExperiment experiment(config);
+  if (!options.trace_json.empty()) {
+    experiment.sim().telemetry().tracer.set_enabled(true);
+  }
+  const ServerReport report = experiment.Run();
+  std::cout << report.Summary();
+  RunSummaryInfo info = MakeInfo(options, "server");
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t starvations = 0;
+  uint64_t underruns = 0;
+  for (const ServerClientQuality& client : report.clients) {
+    sent += client.sent;
+    delivered += client.delivered;
+    starvations += client.server_starvations;
+    underruns += client.underruns;
+  }
+  info.stats = {
+      {"clients", static_cast<double>(report.clients.size())},
+      {"packets_sent", static_cast<double>(sent)},
+      {"packets_delivered", static_cast<double>(delivered)},
+      {"server_starvations", static_cast<double>(starvations)},
+      {"sink_underruns", static_cast<double>(underruns)},
+      {"server_cpu_utilization", report.server_cpu_utilization},
+      {"disk_utilization", report.disk_utilization},
+      {"ring_utilization", report.ring_utilization},
+  };
+  if (!EmitTelemetry(options, experiment.sim(), info)) {
+    return 1;
+  }
+  return report.AllSustained() ? 0 : 2;
+}
+
+int RunRouter(const Options& options) {
+  RouterConfig config;
+  config.packet_bytes = options.packet_bytes;
+  config.packet_period = Milliseconds(options.period_ms);
+  config.dma_buffer_kind = MemoryKindFor(options);
+  config.forward_via_mbufs = !options.zero_copy;  // --zero-copy selects zero-copy forwarding
+  config.duration = Seconds(options.duration_s);
+  config.seed = options.seed;
+  RouterExperiment experiment(config);
+  if (!options.trace_json.empty()) {
+    experiment.sim().telemetry().tracer.set_enabled(true);
+  }
+  const RouterReport report = experiment.Run();
+  std::cout << report.Summary();
+  RunSummaryInfo info =
+      MakeInfo(options, options.zero_copy ? "router-zero-copy" : "router-mbuf");
+  info.stats = {
+      {"packets_built", static_cast<double>(report.packets_built)},
+      {"packets_forwarded", static_cast<double>(report.packets_forwarded)},
+      {"packets_delivered", static_cast<double>(report.packets_delivered)},
+      {"packets_lost", static_cast<double>(report.packets_lost)},
+      {"router_queue_drops", static_cast<double>(report.router_queue_drops)},
+      {"sink_underruns", static_cast<double>(report.sink_underruns)},
+      {"router_cpu_utilization", report.router_cpu_utilization},
+      {"ring_a_utilization", report.ring_a_utilization},
+      {"ring_b_utilization", report.ring_b_utilization},
+  };
+  if (!EmitTelemetry(options, experiment.sim(), info)) {
+    return 1;
+  }
+  return report.KeepsUp() ? 0 : 2;
 }
 
 int RunCtms(const Options& options) {
@@ -276,8 +464,7 @@ int RunCtms(const Options& options) {
   config.seed = options.seed;
   config.packet_bytes = options.packet_bytes;
   config.packet_period = Milliseconds(options.period_ms);
-  config.dma_buffer_kind = options.memory == "system" ? MemoryKind::kSystemMemory
-                                                      : MemoryKind::kIoChannelMemory;
+  config.dma_buffer_kind = MemoryKindFor(options);
   config.driver_priority = options.driver_priority;
   config.ring_priority = options.ring_priority;
   config.tx_zero_copy = options.zero_copy;
@@ -332,10 +519,7 @@ int RunCtms(const Options& options) {
     const int written = WritePaperHistogramsCsv(source, options.csv_prefix);
     std::printf("wrote %d CSV files with prefix %s\n", written, options.csv_prefix.c_str());
   }
-  RunSummaryInfo info;
-  info.scenario = config.name;
-  info.duration_s = static_cast<double>(options.duration_s);
-  info.seed = options.seed;
+  RunSummaryInfo info = MakeInfo(options, config.name);
   info.stats = {
       {"packets_built", static_cast<double>(report.packets_built)},
       {"packets_delivered", static_cast<double>(report.packets_delivered)},
@@ -371,8 +555,17 @@ int main(int argc, char** argv) {
   if (!ParseOptions(argc, argv, &options)) {
     return 1;
   }
-  if (options.baseline) {
+  if (options.experiment == "baseline") {
     return RunBaseline(options);
+  }
+  if (options.experiment == "multistream") {
+    return RunMultiStream(options);
+  }
+  if (options.experiment == "server") {
+    return RunServer(options);
+  }
+  if (options.experiment == "router") {
+    return RunRouter(options);
   }
   return RunCtms(options);
 }
