@@ -14,7 +14,7 @@ namespace {
 
 void Run(const char* label, int ratio, bool on_host) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.packet_bytes = 2117;  // CD audio at the 12 ms cadence
   config.compression_ratio = ratio;
   config.compress_on_host = on_host;

@@ -14,7 +14,7 @@ namespace {
 
 struct Row {
   const char* label;
-  ctms::ScenarioConfig config;
+  ctms::CtmsConfig config;
 };
 
 }  // namespace
@@ -23,39 +23,39 @@ int main() {
   using namespace ctms;
   PrintHeader("Ablation: section 5.3's copy and memory axes (Test Case A otherwise, 30 s)");
 
-  ScenarioConfig base = TestCaseA();
+  CtmsConfig base = TestCaseA();
   base.duration = Seconds(30);
 
   std::vector<Row> rows;
   rows.push_back({"A as published (IOCM, minimal copies)", base});
   {
-    ScenarioConfig c = base;
+    CtmsConfig c = base;
     c.dma_buffer_kind = MemoryKind::kSystemMemory;
     rows.push_back({"DMA buffers in system memory", c});
   }
   {
-    ScenarioConfig c = base;
+    CtmsConfig c = base;
     c.tx_copy_vca_to_mbufs = true;
     rows.push_back({"+ tx copies device data to mbufs", c});
   }
   {
-    ScenarioConfig c = base;
+    CtmsConfig c = base;
     c.rx_copy_mbufs_to_device = true;
     rows.push_back({"+ rx copies mbufs to device buffer", c});
   }
   {
-    ScenarioConfig c = base;
+    CtmsConfig c = base;
     c.tx_copy_vca_to_mbufs = true;
     c.rx_copy_mbufs_to_device = true;
     rows.push_back({"full copying (Test B's copy set)", c});
   }
   {
-    ScenarioConfig c = base;
+    CtmsConfig c = base;
     c.rx_copy_dma_to_mbufs = false;
     rows.push_back({"rx examines packet in DMA buffer", c});
   }
   {
-    ScenarioConfig c = base;
+    CtmsConfig c = base;
     c.tx_zero_copy = true;
     c.rx_copy_dma_to_mbufs = false;
     rows.push_back({"pointer passing both sides", c});

@@ -18,7 +18,7 @@ int main() {
   std::printf("  %-10s %-14s %-14s %-16s\n", "----", "---------", "----------",
               "-----------------");
   for (const int64_t bps : {4'000'000LL, 16'000'000LL}) {
-    ScenarioConfig config = TestCaseA();
+    CtmsConfig config = TestCaseA();
     config.ring_bits_per_second = bps;
     config.duration = Seconds(60);
     const ExperimentReport report = CtmsExperiment(config).Run();

@@ -36,7 +36,7 @@ int main() {
 
   // --- driver-to-driver and pointer-passing (Test Case A topology) --------------------------
   for (const bool zero_copy : {false, true}) {
-    ScenarioConfig config = TestCaseA();
+    CtmsConfig config = TestCaseA();
     config.tx_zero_copy = zero_copy;
     config.rx_copy_dma_to_mbufs = !zero_copy;  // zero-copy consumes in the DMA buffer too
     config.duration = Seconds(30);

@@ -19,7 +19,7 @@ namespace {
 
 void Run(const char* label, int prime, bool adaptive, bool insertions = true) {
   using namespace ctms;
-  ScenarioConfig config = insertions ? TestCaseB() : TestCaseA();
+  CtmsConfig config = insertions ? TestCaseB() : TestCaseA();
   config.duration = Minutes(60);
   config.jitter_buffer_packets = prime;
   config.adaptive_jitter_buffer = adaptive;

@@ -14,7 +14,7 @@ namespace {
 
 void Run(const char* label, bool vbr, int jitter_packets) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.vbr = vbr;
   config.jitter_buffer_packets = jitter_packets;
   config.duration = Minutes(5);

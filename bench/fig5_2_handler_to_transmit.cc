@@ -16,7 +16,7 @@ int main() {
   using namespace ctms;
   PrintHeader("Figure 5-2: Test Case B, handler entry -> pre-transmit (histogram 6)");
 
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Minutes(10);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();

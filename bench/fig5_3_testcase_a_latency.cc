@@ -13,7 +13,7 @@ int main() {
   using namespace ctms;
   PrintHeader("Figure 5-3: Test Case A, transmitter-to-receiver times (histogram 7)");
 
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Minutes(10);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();

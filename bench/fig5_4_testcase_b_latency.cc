@@ -14,7 +14,7 @@ int main() {
   using namespace ctms;
   PrintHeader("Figure 5-4: Test Case B, transmitter-to-receiver times (histogram 7), 117 min");
 
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Minutes(117);
   config.jitter_buffer_packets = 12;  // the section-6 budget: 24 KB, glitch-free
   CtmsExperiment experiment(config);

@@ -125,7 +125,7 @@ BENCHMARK(BM_RingFrameService);
 
 // The headline: how much host time one simulated second of Test Case A costs.
 void BM_TestCaseASimulatedSecond(benchmark::State& state) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Hours(24);  // never reached; we advance manually
   CtmsExperiment experiment(config);
   experiment.Start();
@@ -137,7 +137,7 @@ void BM_TestCaseASimulatedSecond(benchmark::State& state) {
 BENCHMARK(BM_TestCaseASimulatedSecond)->Unit(benchmark::kMillisecond);
 
 void BM_TestCaseBSimulatedSecond(benchmark::State& state) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Hours(24);
   CtmsExperiment experiment(config);
   experiment.Start();

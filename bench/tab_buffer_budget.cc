@@ -11,7 +11,7 @@ int main() {
   PrintHeader("Section 6: receive buffer budget for the 150 KB/s class stream");
 
   // A Test-Case-B hour with one insertion, so the worst case includes the 120-130 ms event.
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Minutes(30);
   config.jitter_buffer_packets = 12;  // provision exactly the budget this bench derives
   CtmsExperiment experiment(config);

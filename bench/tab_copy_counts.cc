@@ -31,7 +31,7 @@ int main() {
   // tx host: device->mbufs, kernel->user, user->kernel, mbufs->DMA buffer = 4 CPU copies.
   (void)stock_report;
 
-  ScenarioConfig ctms_config = TestCaseA();
+  CtmsConfig ctms_config = TestCaseA();
   ctms_config.duration = Seconds(30);
   CtmsExperiment ctms_experiment(ctms_config);
   const ExperimentReport ctms_report = ctms_experiment.Run();

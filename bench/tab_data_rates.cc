@@ -64,7 +64,7 @@ int main() {
                     static_cast<unsigned long long>(report.sink_underruns));
     }
     {
-      ScenarioConfig config = TestCaseB();
+      CtmsConfig config = TestCaseB();
       config.packet_bytes = rate.packet_bytes;
       config.duration = Seconds(30);
       const ExperimentReport report = CtmsExperiment(config).Run();
@@ -89,7 +89,7 @@ int main() {
                   report.delivered_kbytes_per_sec);
   }
   {
-    ScenarioConfig config = TestCaseB();
+    CtmsConfig config = TestCaseB();
     config.packet_bytes = 2000;
     config.duration = Seconds(30);
     const ExperimentReport report = CtmsExperiment(config).Run();

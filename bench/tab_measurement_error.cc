@@ -20,7 +20,7 @@ int main() {
   PrintHeader("Section 5.2: what each measurement tool reports vs ground truth (60 s)");
 
   auto run_with = [](MeasurementMethod method) {
-    ScenarioConfig config = TestCaseB();
+    CtmsConfig config = TestCaseB();
     config.method = method;
     config.duration = Seconds(60);
     CtmsExperiment experiment(config);
@@ -30,7 +30,7 @@ int main() {
   // --- the VCA source itself (logic analyzer = exact edges). The paper made these
   // measurements in lab conditions (section 5.2.2), i.e. Test Case A's environment. -------
   const ExperimentReport la = [] {
-    ScenarioConfig config = TestCaseA();
+    CtmsConfig config = TestCaseA();
     config.method = MeasurementMethod::kLogicAnalyzer;
     config.duration = Seconds(60);
     CtmsExperiment experiment(config);

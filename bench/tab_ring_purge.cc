@@ -25,7 +25,7 @@ struct PurgeRun {
 
 PurgeRun RunWithInsertions(bool retransmit_mode, uint64_t seed) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Hours(2);  // a 2-hour slice of the ~1/hour insertion regime
   config.insertion_mean = Minutes(20);  // compressed so the 2-hour run sees several
   config.retransmit_on_purge = retransmit_mode;

@@ -21,7 +21,7 @@ void RunStock(const char* label, int64_t packet_bytes) {
 
 void RunCtms(const char* label, int64_t packet_bytes) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.packet_bytes = packet_bytes;
   config.duration = Seconds(30);
   CtmsExperiment experiment(config);

@@ -16,7 +16,7 @@ struct Cell {
 
 Cell Run(double load_scale, bool driver_priority, int ring_priority) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.load_scale = load_scale;
   config.driver_priority = driver_priority;
   config.ring_priority = ring_priority;

@@ -11,7 +11,7 @@ namespace {
 
 void RunWith(ctms::MeasurementMethod method) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.method = method;
   config.duration = Seconds(30);
   CtmsExperiment experiment(config);

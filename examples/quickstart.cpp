@@ -15,7 +15,7 @@ int main() {
 
   // Start from the paper's Test Case B environment (public ring, normal load,
   // multiprocessing hosts) and change the stream to CD audio.
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.name = "quickstart-cd-audio";
   config.packet_bytes = 2117;  // 176.4 KB/s at the 12 ms device cadence
   config.duration = Seconds(10);

@@ -10,7 +10,7 @@ namespace {
 
 void Run(bool retransmit_mode) {
   using namespace ctms;
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Minutes(3);
   config.retransmit_on_purge = retransmit_mode;
   CtmsExperiment experiment(config);

@@ -42,7 +42,7 @@ void UnpackControl(const Packet& packet, Ctmsp2ControlKind* kind, Ctmsp2Status* 
 int main() {
   std::printf("CTMSP-v2 session setup over the ring (CONNECT -> ACCEPT -> STATUS -> CLOSE)\n\n");
 
-  ScenarioConfig scenario = TestCaseA();
+  CtmsConfig scenario = TestCaseA();
   scenario.duration = Seconds(60);
   CtmsExperiment experiment(scenario);
 

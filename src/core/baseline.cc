@@ -97,6 +97,8 @@ BaselineExperiment::BaselineExperiment(BaselineConfig config)
     env.AddKeepaliveChatter(&ring, Milliseconds(90));
     env.AddTransferBursts(&ring, Milliseconds(1200));
   }
+
+  topo_.ApplyFaultPlan(config_.faults);
 }
 
 BaselineReport BaselineExperiment::Run() {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "src/fault/fault_plan.h"
 #include "src/kern/process.h"
 #include "src/proto/tcp_lite.h"
 #include "src/ring/token_ring.h"
@@ -33,6 +34,7 @@ struct BaselineConfig {
   bool timesharing = true;                   // the hosts run their normal daemons/users
   SimDuration duration = Seconds(30);
   uint64_t seed = 1;
+  FaultPlan faults;  // empty = no injector; runs stay bit-identical to plan-free ones
 
   double OfferedKBytesPerSecond() const {
     return static_cast<double>(packet_bytes) / (ToSecondsF(packet_period) * 1000.0);

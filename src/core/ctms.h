@@ -4,7 +4,7 @@
 //
 //   #include "src/core/ctms.h"
 //
-//   ctms::ScenarioConfig config = ctms::TestCaseA();
+//   ctms::CtmsConfig config = ctms::TestCaseA();
 //   config.duration = ctms::Seconds(30);
 //   ctms::CtmsExperiment experiment(config);
 //   ctms::ExperimentReport report = experiment.Run();
@@ -20,14 +20,18 @@
 #include "src/core/buffer_budget.h"
 #include "src/core/copy_analysis.h"
 #include "src/core/experiment.h"
+#include "src/core/faultsweep.h"
 #include "src/core/multi_stream.h"
 #include "src/core/router.h"
 #include "src/core/server.h"
 #include "src/core/scenario.h"
+#include "src/core/scenario_cli.h"
 #include "src/dev/disk.h"
 #include "src/dev/media_server.h"
 #include "src/dev/tr_driver.h"
 #include "src/dev/vca.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/hw/cpu.h"
 #include "src/hw/dma.h"
 #include "src/hw/machine.h"

@@ -7,13 +7,13 @@ namespace ctms {
 
 namespace {
 
-TokenRing::Config RingConfig(const ScenarioConfig& config) {
+TokenRing::Config RingConfig(const CtmsConfig& config) {
   TokenRing::Config ring;
   ring.bits_per_second = config.ring_bits_per_second;
   return ring;  // station count is added via AddPassiveStations
 }
 
-Station::PortConfig PortConfig(const ScenarioConfig& config) {
+Station::PortConfig PortConfig(const CtmsConfig& config) {
   Station::PortConfig port;
   port.adapter.dma_buffer_kind = config.dma_buffer_kind;
   port.driver.ctms_mode = true;
@@ -24,7 +24,7 @@ Station::PortConfig PortConfig(const ScenarioConfig& config) {
   return port;
 }
 
-StreamEndpoints::Config StreamConfig(const ScenarioConfig& config) {
+StreamEndpoints::Config StreamConfig(const CtmsConfig& config) {
   StreamEndpoints::Config stream;
   stream.connection.ring_priority = config.ring_priority;
   stream.connection.driver_priority = config.driver_priority;
@@ -67,7 +67,7 @@ SimDuration InlineProbeCost(MeasurementMethod method) {
 
 }  // namespace
 
-CtmsExperiment::CtmsExperiment(ScenarioConfig config)
+CtmsExperiment::CtmsExperiment(CtmsConfig config)
     : config_(std::move(config)), topo_(config_.seed) {
   TokenRing& ring = topo_.AddRing(RingConfig(config_));
   tx_ = &topo_.AddStation("tx");
@@ -183,6 +183,34 @@ CtmsExperiment::CtmsExperiment(ScenarioConfig config)
 
   if (config_.insertion_mean > 0) {
     env.AddInsertions(&ring, InsertionSchedule::Config{config_.insertion_mean});
+  }
+
+  if (config_.degradation != DegradationMode::kDropOldest) {
+    DegradationPolicy::Config policy;
+    policy.mode = config_.degradation;
+    policy.retry_budget = config_.retry_budget;
+    policy.backoff = config_.retry_backoff;
+    degradation_ = std::make_unique<DegradationPolicy>(policy);
+    tx_->driver().SetCtmspFailureHandler([this](TxStatus status, uint32_t seq, int64_t bytes) {
+      const DegradationPolicy::Decision decision = degradation_->OnFailure(status, seq);
+      if (decision.action != DegradationPolicy::Action::kRetransmit) {
+        return;
+      }
+      if (decision.delay > 0) {
+        sim().After(decision.delay,
+                    [this, seq, bytes]() { tx_->driver().RetransmitCtmsp(seq, bytes); });
+      } else {
+        // Requeued inside the failure interrupt, before tx_in_progress_ clears — the retry
+        // is the very next packet on the wire (kBlock's ordering guarantee).
+        tx_->driver().RetransmitCtmsp(seq, bytes);
+      }
+    });
+  }
+
+  // Fault wiring comes last: every station and the stream already exist, and an empty plan
+  // is a strict no-op so plan-free runs reproduce the golden numbers.
+  if (FaultInjector* injector = topo_.ApplyFaultPlan(config_.faults)) {
+    injector->BindVcaSource(tx_->name(), &stream_->vca_source());
   }
 }
 

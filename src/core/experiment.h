@@ -28,7 +28,7 @@
 namespace ctms {
 
 struct ExperimentReport {
-  ScenarioConfig config;
+  CtmsConfig config;
 
   // The paper's histograms 1-7 as seen by the configured instrument, and by the simulator's
   // perfect observer (so measurement error itself can be studied).
@@ -78,7 +78,7 @@ struct ExperimentReport {
 
 class CtmsExperiment {
  public:
-  explicit CtmsExperiment(ScenarioConfig config);
+  explicit CtmsExperiment(CtmsConfig config);
 
   CtmsExperiment(const CtmsExperiment&) = delete;
   CtmsExperiment& operator=(const CtmsExperiment&) = delete;
@@ -105,17 +105,20 @@ class CtmsExperiment {
   CtmspReceiver& receiver() { return stream_->receiver(); }
   ProbeBus& probes() { return topo_.probes(); }
   TapMonitor& tap() { return *tap_; }
+  // Installed only when config.degradation != kDropOldest.
+  DegradationPolicy* degradation_policy() { return degradation_.get(); }
   GroundTruthRecorder& ground_truth() { return *ground_truth_; }
   PcAtTimestamper* pcat() { return pcat_.get(); }
 
  private:
   std::vector<ProbeEvent> MeasuredEvents() const;
 
-  ScenarioConfig config_;
+  CtmsConfig config_;
   RingTopology topo_;  // owns the simulation, probes, ring, both stations, and environment
   Station* tx_ = nullptr;
   Station* rx_ = nullptr;
   std::unique_ptr<StreamEndpoints> stream_;
+  std::unique_ptr<DegradationPolicy> degradation_;
 
   std::unique_ptr<GroundTruthRecorder> ground_truth_;
   std::unique_ptr<RtPcPseudoDevice> rtpc_;

@@ -1,0 +1,127 @@
+#include "src/core/faultsweep.h"
+
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace ctms {
+
+FaultSweepExperiment::FaultSweepExperiment(FaultSweepConfig config)
+    : config_(std::move(config)) {}
+
+FaultPlan FaultSweepExperiment::PlanForLevel(int level) const {
+  FaultPlan plan;
+  for (int storm = 0; storm < level; ++storm) {
+    const SimTime at = config_.first_storm_at + storm * config_.storm_period;
+    plan.Add(FaultPlan::PurgeStorm(at, config_.purges_per_storm, config_.purge_spacing));
+  }
+  return plan;
+}
+
+FaultSweepReport FaultSweepExperiment::Run() {
+  FaultSweepReport report;
+  report.config = config_;
+  for (int level = 0; level < config_.levels; ++level) {
+    const FaultPlan plan = PlanForLevel(level);
+    for (DegradationMode policy : config_.policies) {
+      CtmsConfig cell = config_.base;
+      cell.name = "faultsweep-L" + std::to_string(level) + "-" + DegradationModeName(policy);
+      cell.faults = plan;
+      cell.degradation = policy;
+      cell.retransmit_on_purge = false;  // the policy axis owns recovery; no double path
+
+      CtmsExperiment experiment(std::move(cell));
+      const ExperimentReport cell_report = experiment.Run();
+
+      FaultSweepRow row;
+      row.level = level;
+      row.policy = policy;
+      if (const FaultInjector* injector = experiment.topology().fault_injector()) {
+        row.purges_injected = injector->report().purges_injected;
+      }
+      row.packets_built = cell_report.packets_built;
+      row.packets_delivered = cell_report.packets_delivered;
+      row.packets_lost = cell_report.packets_lost;
+      // MAC-mode retransmissions when retransmit_on_purge is on; otherwise the policy's.
+      row.retransmissions = cell_report.retransmissions;
+      if (const DegradationPolicy* policy = experiment.degradation_policy()) {
+        row.retransmissions += policy->retransmits();
+      }
+      row.late_recovered = cell_report.late_recovered;
+      row.sink_underruns = cell_report.sink_underruns;
+      row.delivered_ratio =
+          row.packets_built == 0
+              ? 0.0
+              : static_cast<double>(row.packets_delivered) /
+                    static_cast<double>(row.packets_built);
+      report.rows.push_back(row);
+    }
+  }
+  return report;
+}
+
+const FaultSweepRow* FaultSweepReport::Find(int level, DegradationMode policy) const {
+  for (const FaultSweepRow& row : rows) {
+    if (row.level == level && row.policy == policy) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultSweepReport::MonotoneNonIncreasing(DegradationMode policy) const {
+  const FaultSweepRow* previous = nullptr;
+  for (int level = 0; level < config.levels; ++level) {
+    const FaultSweepRow* row = Find(level, policy);
+    if (row == nullptr) {
+      return false;
+    }
+    if (previous != nullptr && row->delivered_ratio > previous->delivered_ratio) {
+      return false;
+    }
+    previous = row;
+  }
+  return previous != nullptr;
+}
+
+bool FaultSweepReport::RetransmitBeatsDrop() const {
+  bool compared = false;
+  for (int level = 1; level < config.levels; ++level) {
+    const FaultSweepRow* drop = Find(level, DegradationMode::kDropOldest);
+    const FaultSweepRow* retransmit = Find(level, DegradationMode::kPurgeRetransmit);
+    if (drop == nullptr || retransmit == nullptr) {
+      continue;
+    }
+    compared = true;
+    if (retransmit->packets_delivered <= drop->packets_delivered) {
+      return false;
+    }
+  }
+  return compared;
+}
+
+std::string FaultSweepReport::Summary() const {
+  std::ostringstream os;
+  os << "fault sweep: " << config.levels << " intensity levels x " << config.policies.size()
+     << " policies (" << config.purges_per_storm << " purges / "
+     << FormatDuration(config.purge_spacing) << " spacing per storm)\n";
+  os << "  level  purges  policy            delivered/built   ratio    rexmit  recovered\n";
+  for (const FaultSweepRow& row : rows) {
+    os << "  " << std::setw(5) << row.level << "  " << std::setw(6) << row.purges_injected
+       << "  " << std::setw(16) << std::left << DegradationModeName(row.policy) << std::right
+       << "  " << std::setw(7) << row.packets_delivered << "/" << std::setw(7) << std::left
+       << row.packets_built << std::right << "  " << std::fixed << std::setprecision(4)
+       << row.delivered_ratio << "  " << std::setw(6) << row.retransmissions << "  "
+       << std::setw(9) << row.late_recovered << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+  for (DegradationMode policy : config.policies) {
+    os << "  " << DegradationModeName(policy) << ": "
+       << (MonotoneNonIncreasing(policy) ? "monotone non-increasing" : "NOT MONOTONE") << "\n";
+  }
+  os << "  purge-retransmit beats drop-oldest at every non-zero intensity: "
+     << (RetransmitBeatsDrop() ? "yes" : "NO") << "\n";
+  return os.str();
+}
+
+}  // namespace ctms

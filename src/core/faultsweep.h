@@ -1,0 +1,87 @@
+// FaultSweepExperiment: the degradation curve — delivered ratio vs. purge-storm intensity,
+// one curve per degradation policy.
+//
+// Intensity level L injects the first L storms of a fixed schedule, so every level's purge
+// times are a strict superset of the level below it (no jitter): more intensity can only
+// add damage, which is what makes "delivered ratio is monotone non-increasing in L" a
+// meaningful acceptance check rather than a coin flip. Each (level, policy) cell runs the
+// full CtmsExperiment with the same seed; only the FaultPlan and the DegradationMode differ.
+
+#ifndef SRC_CORE_FAULTSWEEP_H_
+#define SRC_CORE_FAULTSWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/scenario.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/proto/degradation.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+struct FaultSweepConfig {
+  // Stream/topology parameters shared by every cell; faults, degradation, and
+  // retransmit_on_purge are overwritten per cell.
+  CtmsConfig base;
+
+  // Intensity axis: level L injects storms 0..L-1 of the schedule below.
+  int levels = 4;
+  int purges_per_storm = 25;
+  SimDuration purge_spacing = Milliseconds(4);  // dense against the 12 ms stream period
+  SimTime first_storm_at = Seconds(1);
+  SimDuration storm_period = Milliseconds(400);
+
+  // Policy axis.
+  std::vector<DegradationMode> policies = {DegradationMode::kDropOldest,
+                                           DegradationMode::kPurgeRetransmit};
+};
+
+struct FaultSweepRow {
+  int level = 0;
+  DegradationMode policy = DegradationMode::kDropOldest;
+  uint64_t purges_injected = 0;
+  uint64_t packets_built = 0;
+  uint64_t packets_delivered = 0;
+  uint64_t packets_lost = 0;
+  uint64_t retransmissions = 0;
+  uint64_t late_recovered = 0;
+  uint64_t sink_underruns = 0;
+  double delivered_ratio = 0.0;  // delivered / built
+};
+
+struct FaultSweepReport {
+  FaultSweepConfig config;
+  std::vector<FaultSweepRow> rows;  // level-major, policies in config order within a level
+
+  const FaultSweepRow* Find(int level, DegradationMode policy) const;
+
+  // Delivered ratio never rises as intensity does (per policy).
+  bool MonotoneNonIncreasing(DegradationMode policy) const;
+  // At every non-zero intensity, purge-retransmit delivers strictly more than drop-oldest.
+  bool RetransmitBeatsDrop() const;
+
+  std::string Summary() const;
+};
+
+class FaultSweepExperiment {
+ public:
+  explicit FaultSweepExperiment(FaultSweepConfig config);
+
+  FaultSweepExperiment(const FaultSweepExperiment&) = delete;
+  FaultSweepExperiment& operator=(const FaultSweepExperiment&) = delete;
+
+  // The plan intensity level L runs under (storms 0..L-1, jitter-free).
+  FaultPlan PlanForLevel(int level) const;
+
+  FaultSweepReport Run();
+
+ private:
+  FaultSweepConfig config_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_FAULTSWEEP_H_

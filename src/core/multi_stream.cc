@@ -40,6 +40,8 @@ MultiStreamExperiment::MultiStreamExperiment(MultiStreamConfig config)
   if (config_.background_keepalives) {
     env.AddKeepaliveChatter(&ring, Milliseconds(120));
   }
+
+  topo_.ApplyFaultPlan(config_.faults);
 }
 
 MultiStreamReport MultiStreamExperiment::Run() {

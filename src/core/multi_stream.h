@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/scenario.h"
+#include "src/fault/fault_plan.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
 #include "src/testbed/station.h"
@@ -32,6 +33,7 @@ struct MultiStreamConfig {
   bool background_keepalives = true;
   SimDuration duration = Seconds(30);
   uint64_t seed = 1;
+  FaultPlan faults;  // empty = no injector; runs stay bit-identical to plan-free ones
 };
 
 struct StreamQuality {

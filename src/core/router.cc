@@ -62,6 +62,8 @@ RouterExperiment::RouterExperiment(RouterConfig config)
       env.AddKeepaliveChatter(ring, Milliseconds(150));
     }
   }
+
+  topo_.ApplyFaultPlan(config_.faults);
 }
 
 RouterReport RouterExperiment::Run() {

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/core/scenario.h"
+#include "src/fault/fault_plan.h"
 #include "src/measure/histogram.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
@@ -36,6 +37,7 @@ struct RouterConfig {
   bool background = true;  // keep-alive chatter on both rings
   SimDuration duration = Seconds(30);
   uint64_t seed = 1;
+  FaultPlan faults;  // empty = no injector; runs stay bit-identical to plan-free ones
 };
 
 struct RouterReport {

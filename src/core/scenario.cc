@@ -16,8 +16,8 @@ const char* MeasurementMethodName(MeasurementMethod method) {
   return "?";
 }
 
-ScenarioConfig TestCaseA() {
-  ScenarioConfig config;
+CtmsConfig TestCaseA() {
+  CtmsConfig config;
   config.name = "test-case-A";
   config.dma_buffer_kind = MemoryKind::kIoChannelMemory;
   config.tx_copy_vca_to_mbufs = false;
@@ -32,8 +32,8 @@ ScenarioConfig TestCaseA() {
   return config;
 }
 
-ScenarioConfig TestCaseB() {
-  ScenarioConfig config;
+CtmsConfig TestCaseB() {
+  CtmsConfig config;
   config.name = "test-case-B";
   config.dma_buffer_kind = MemoryKind::kIoChannelMemory;
   config.tx_copy_vca_to_mbufs = true;

@@ -2,7 +2,7 @@
 //
 // The paper enumerates eleven axes that alter the results (memory placement, each optional
 // copy, driver and ring priority, measurement method, private vs public network, load,
-// stand-alone vs multiprocessing). ScenarioConfig exposes them all; TestCaseA() and
+// stand-alone vs multiprocessing). CtmsConfig exposes them all; TestCaseA() and
 // TestCaseB() are the two presets the paper publishes figures for.
 
 #ifndef SRC_CORE_SCENARIO_H_
@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <string>
 
+#include "src/fault/fault_plan.h"
 #include "src/hw/memory.h"
+#include "src/proto/degradation.h"
 #include "src/sim/time.h"
 
 namespace ctms {
@@ -25,7 +27,7 @@ enum class MeasurementMethod {
 
 const char* MeasurementMethodName(MeasurementMethod method);
 
-struct ScenarioConfig {
+struct CtmsConfig {
   std::string name = "custom";
 
   // --- memory placement (section 4) -----------------------------------------------------
@@ -71,6 +73,17 @@ struct ScenarioConfig {
   MeasurementMethod method = MeasurementMethod::kPcAt;
   bool retransmit_on_purge = false;  // MAC-receive purge recovery (off: accept the loss)
 
+  // --- degradation & fault injection ------------------------------------------------------------
+  // What the transmitter does when the frame-status bits report a failed CTMSP packet.
+  // kDropOldest is the paper's silent-loss CTMSP and changes nothing; the other modes install
+  // the driver's failure handler. Don't combine them with retransmit_on_purge (that is the
+  // separate MAC-receive mechanism; both reacting to one purge would retransmit twice).
+  DegradationMode degradation = DegradationMode::kDropOldest;
+  int retry_budget = 3;                        // kPurgeRetransmit: retries per packet
+  SimDuration retry_backoff = Milliseconds(2); // kPurgeRetransmit: delay before each retry
+  // Deterministic fault schedule; empty = no injector, bit-identical to a plan-free run.
+  FaultPlan faults;
+
   // --- run control -------------------------------------------------------------------------------
   SimDuration duration = Seconds(60);
   uint64_t seed = 1;
@@ -84,12 +97,12 @@ struct ScenarioConfig {
 // Test Case A: private unloaded ring, stand-alone hosts, minimal copies (no device-data
 // copy on the transmitter, data dropped on the receiver), IO Channel Memory, priorities on,
 // remote (PC/AT) measurement.
-ScenarioConfig TestCaseA();
+CtmsConfig TestCaseA();
 
 // Test Case B: public ring under normal load, multiprocessing hosts, full copying on both
 // sides, IO Channel Memory, priorities on, remote measurement. The paper's 117-minute run
 // also saw two station insertions; enable those via insertion_mean or explicit triggers.
-ScenarioConfig TestCaseB();
+CtmsConfig TestCaseB();
 
 }  // namespace ctms
 

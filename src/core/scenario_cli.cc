@@ -1,0 +1,108 @@
+#include "src/core/scenario_cli.h"
+
+namespace ctms {
+
+MemoryKind ScenarioConfig::MemoryKindValue() const {
+  return memory == "system" ? MemoryKind::kSystemMemory : MemoryKind::kIoChannelMemory;
+}
+
+MeasurementMethod ScenarioConfig::MethodValue() const {
+  if (method == "rtpc") {
+    return MeasurementMethod::kRtPcPseudoDevice;
+  }
+  if (method == "logic") {
+    return MeasurementMethod::kLogicAnalyzer;
+  }
+  if (method == "truth") {
+    return MeasurementMethod::kGroundTruth;
+  }
+  return MeasurementMethod::kPcAt;
+}
+
+DegradationMode ScenarioConfig::DegradationValue() const {
+  return ParseDegradationMode(degradation).value_or(DegradationMode::kDropOldest);
+}
+
+CtmsConfig CtmsConfigFrom(const ScenarioConfig& cli) {
+  CtmsConfig config = cli.scenario == "B" ? TestCaseB() : TestCaseA();
+  config.duration = Seconds(cli.duration_s);
+  config.seed = cli.seed;
+  config.packet_bytes = cli.packet_bytes;
+  config.packet_period = Milliseconds(cli.period_ms);
+  config.dma_buffer_kind = cli.MemoryKindValue();
+  config.driver_priority = cli.driver_priority;
+  config.ring_priority = cli.ring_priority;
+  config.tx_zero_copy = cli.zero_copy;
+  config.retransmit_on_purge = cli.retransmit;
+  config.insertion_mean = Minutes(cli.insertion_mean_min);
+  config.method = cli.MethodValue();
+  config.degradation = cli.DegradationValue();
+  config.retry_budget = cli.retry_budget;
+  config.retry_backoff = Milliseconds(cli.retry_backoff_ms);
+  config.faults = cli.faults;
+  return config;
+}
+
+BaselineConfig BaselineConfigFrom(const ScenarioConfig& cli) {
+  BaselineConfig config;
+  config.packet_bytes = cli.packet_bytes;
+  config.packet_period = Milliseconds(cli.period_ms);
+  config.use_tcp = cli.tcp;
+  config.duration = Seconds(cli.duration_s);
+  config.seed = cli.seed;
+  config.dma_buffer_kind = cli.MemoryKindValue();
+  config.faults = cli.faults;
+  return config;
+}
+
+MultiStreamConfig MultiStreamConfigFrom(const ScenarioConfig& cli) {
+  MultiStreamConfig config;
+  config.streams = static_cast<int>(cli.streams);
+  config.packet_bytes = cli.packet_bytes;
+  config.packet_period = Milliseconds(cli.period_ms);
+  config.dma_buffer_kind = cli.MemoryKindValue();
+  config.ring_priority = cli.ring_priority;
+  config.duration = Seconds(cli.duration_s);
+  config.seed = cli.seed;
+  config.faults = cli.faults;
+  return config;
+}
+
+ServerConfig ServerConfigFrom(const ScenarioConfig& cli) {
+  ServerConfig config;
+  config.clients = static_cast<int>(cli.clients);
+  config.packet_bytes = cli.packet_bytes;
+  config.packet_period = Milliseconds(cli.period_ms);
+  config.dma_buffer_kind = cli.MemoryKindValue();
+  config.duration = Seconds(cli.duration_s);
+  config.seed = cli.seed;
+  config.faults = cli.faults;
+  return config;
+}
+
+RouterConfig RouterConfigFrom(const ScenarioConfig& cli) {
+  RouterConfig config;
+  config.packet_bytes = cli.packet_bytes;
+  config.packet_period = Milliseconds(cli.period_ms);
+  config.dma_buffer_kind = cli.MemoryKindValue();
+  config.forward_via_mbufs = !cli.zero_copy;  // --zero-copy selects zero-copy forwarding
+  config.duration = Seconds(cli.duration_s);
+  config.seed = cli.seed;
+  config.faults = cli.faults;
+  return config;
+}
+
+FaultSweepConfig FaultSweepConfigFrom(const ScenarioConfig& cli) {
+  FaultSweepConfig config;
+  config.base = CtmsConfigFrom(cli);
+  // The sweep owns the faults and policy axes; a --faults plan or --degradation choice
+  // would otherwise leak into every cell.
+  config.base.faults = FaultPlan();
+  config.base.degradation = DegradationMode::kDropOldest;
+  config.levels = static_cast<int>(cli.sweep_levels);
+  config.purges_per_storm = static_cast<int>(cli.sweep_purges);
+  config.purge_spacing = Milliseconds(cli.sweep_spacing_ms);
+  return config;
+}
+
+}  // namespace ctms

@@ -1,0 +1,92 @@
+// ScenarioConfig — the command-line scenario aggregate.
+//
+// ctms_sim's flag table fills exactly one of these; the per-experiment converters below turn
+// it into the experiment-specific config structs. That keeps the flag surface, the defaults,
+// and the string->enum spellings in one place instead of five hand-copied blocks, and makes
+// the whole CLI surface unit-testable without spawning the binary.
+//
+// The string-typed fields (memory, method, degradation, ...) deliberately keep the CLI
+// spellings; converters translate them. Validation of those spellings is the flag table's
+// job (ctms_sim rejects unknown values before converting), so the converters just map with
+// a safe default.
+
+#ifndef SRC_CORE_SCENARIO_CLI_H_
+#define SRC_CORE_SCENARIO_CLI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/baseline.h"
+#include "src/core/faultsweep.h"
+#include "src/core/multi_stream.h"
+#include "src/core/router.h"
+#include "src/core/scenario.h"
+#include "src/core/server.h"
+#include "src/fault/fault_plan.h"
+#include "src/proto/degradation.h"
+
+namespace ctms {
+
+struct ScenarioConfig {
+  // --- experiment selection ------------------------------------------------------------
+  std::string experiment = "ctms";  // ctms|baseline|multistream|server|router|faultsweep
+  std::string scenario = "A";       // ctms: Test Case A or B preset
+  bool tcp = false;                 // baseline: TCP-lite instead of UDP
+  int64_t streams = 2;              // multistream
+  int64_t clients = 2;              // server
+
+  // --- stream and environment ----------------------------------------------------------
+  int64_t duration_s = 30;
+  uint64_t seed = 1;
+  int64_t packet_bytes = 2000;
+  int64_t period_ms = 12;
+  std::string memory = "iocm";  // iocm|system
+  bool driver_priority = true;
+  int ring_priority = 6;
+  bool zero_copy = false;
+  bool retransmit = false;        // MAC-receive purge recovery
+  int64_t insertion_mean_min = 0;
+
+  // --- measurement ---------------------------------------------------------------------
+  std::string method = "pcat";  // pcat|rtpc|logic|truth
+
+  // --- faults and degradation ----------------------------------------------------------
+  std::string faults_path;       // --faults=plan.json; empty = no plan
+  FaultPlan faults;              // the parsed plan (filled by the tool after validation)
+  std::string degradation = "drop";  // drop|block|retransmit
+  int retry_budget = 3;
+  int64_t retry_backoff_ms = 2;
+
+  // --- faultsweep ----------------------------------------------------------------------
+  int64_t sweep_levels = 4;
+  int64_t sweep_purges = 25;      // purges per storm
+  int64_t sweep_spacing_ms = 4;   // within-storm purge spacing
+
+  // --- output --------------------------------------------------------------------------
+  int histogram = 0;  // 0 = none, 1..7 = paper histogram number
+  int64_t bin_us = 500;
+  std::string csv_prefix;
+  std::string trace_path;  // background-traffic replay CSV
+  bool ground_truth_output = false;
+  std::string metrics_json;
+  std::string trace_json;
+  bool print_metrics = false;
+
+  // --- typed views of the string spellings ---------------------------------------------
+  MemoryKind MemoryKindValue() const;
+  MeasurementMethod MethodValue() const;
+  DegradationMode DegradationValue() const;
+};
+
+// Per-experiment converters. Each copies the fields its experiment understands and leaves
+// the rest of the experiment config at its own defaults.
+CtmsConfig CtmsConfigFrom(const ScenarioConfig& cli);
+BaselineConfig BaselineConfigFrom(const ScenarioConfig& cli);
+MultiStreamConfig MultiStreamConfigFrom(const ScenarioConfig& cli);
+ServerConfig ServerConfigFrom(const ScenarioConfig& cli);
+RouterConfig RouterConfigFrom(const ScenarioConfig& cli);
+FaultSweepConfig FaultSweepConfigFrom(const ScenarioConfig& cli);
+
+}  // namespace ctms
+
+#endif  // SRC_CORE_SCENARIO_CLI_H_

@@ -43,6 +43,8 @@ ServerExperiment::ServerExperiment(ServerConfig config)
 
   ring.AddPassiveStations(8);
   topo_.environment().AddMacTraffic(&ring, MacFrameTraffic::Config{config_.mac_fraction});
+
+  topo_.ApplyFaultPlan(config_.faults);
 }
 
 ServerReport ServerExperiment::Run() {

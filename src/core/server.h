@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/dev/disk.h"
+#include "src/fault/fault_plan.h"
 #include "src/ring/token_ring.h"
 #include "src/sim/simulation.h"
 #include "src/testbed/station.h"
@@ -28,6 +29,7 @@ struct ServerConfig {
   double mac_fraction = 0.002;
   SimDuration duration = Seconds(30);
   uint64_t seed = 1;
+  FaultPlan faults;  // empty = no injector; runs stay bit-identical to plan-free ones
 };
 
 struct ServerClientQuality {

@@ -68,10 +68,30 @@ void TokenRingDriver::RetransmitCtmsp(uint32_t seq, int64_t bytes) {
   StartNextTx();
 }
 
+bool TokenRingDriver::tx_frozen() const { return kernel_->sim()->Now() < tx_frozen_until_; }
+
+void TokenRingDriver::InjectTxFreeze(SimDuration duration) {
+  const SimTime until = kernel_->sim()->Now() + duration;
+  if (until > tx_frozen_until_) {
+    tx_frozen_until_ = until;
+  }
+  if (!freeze_resume_scheduled_) {
+    freeze_resume_scheduled_ = true;
+    kernel_->sim()->At(tx_frozen_until_, [this]() {
+      freeze_resume_scheduled_ = false;
+      if (tx_frozen()) {  // extended meanwhile
+        InjectTxFreeze(tx_frozen_until_ - kernel_->sim()->Now());
+        return;
+      }
+      StartNextTx();
+    });
+  }
+}
+
 void TokenRingDriver::StartNextTx() {
   // The paper's sequence-preservation constraint: one packet is sent completely (wire
   // completion, signalled by the transmit-complete interrupt) before the next is touched.
-  if (tx_in_progress_) {
+  if (tx_in_progress_ || tx_frozen()) {
     return;
   }
   bool is_ctmsp = false;
@@ -137,6 +157,9 @@ void TokenRingDriver::TransmitPacket(Packet packet, bool is_ctmsp) {
         frame.is_ack = packet.is_ack;
         frame.ack_seq = packet.ack_seq;
         frame.created_at = packet.created_at;
+        inflight_is_ctmsp_ = is_ctmsp;
+        inflight_seq_ = packet.seq;
+        inflight_bytes_ = packet.bytes;
         if (is_ctmsp) {
           ++ctmsp_tx_;
           ctmsp_tx_counter_->Increment();
@@ -154,18 +177,22 @@ void TokenRingDriver::TransmitPacket(Packet packet, bool is_ctmsp) {
                             {{"seq", static_cast<int64_t>(packet.seq)},
                              {"bytes", packet.bytes}});
         }
-        adapter_->IssueTransmit(std::move(frame), [this](const TokenRingAdapter::TxStatus& s) {
-          OnTxComplete(s);
-        });
+        adapter_->IssueTransmit(std::move(frame), [this](TxStatus s) { OnTxComplete(s); });
       },
       Spl::kImp});
   kernel_->machine()->cpu().SubmitInterrupt(std::move(job));
 }
 
-void TokenRingDriver::OnTxComplete(const TokenRingAdapter::TxStatus& status) {
-  (void)status;  // the stock driver cannot see purge hits; MAC mode handles them separately
+void TokenRingDriver::OnTxComplete(TxStatus status) {
   kernel_->machine()->cpu().SubmitInterrupt("tr-tx-complete", Spl::kImp,
-                                            config_.tx_complete_cost, [this]() {
+                                            config_.tx_complete_cost, [this, status]() {
+    // The frame-status bits the handler reads at interrupt level. The stock driver cannot
+    // see purge hits (MAC mode handles them separately); the degradation hook, when
+    // installed, reacts to any non-delivered CTMSP packet before the next one starts — a
+    // RetransmitCtmsp here requeues to the head, so the retry goes out next in order.
+    if (!Delivered(status) && inflight_is_ctmsp_ && ctmsp_failure_) {
+      ctmsp_failure_(status, inflight_seq_, inflight_bytes_);
+    }
     tx_in_progress_ = false;
     StartNextTx();
   });

@@ -113,6 +113,25 @@ class TokenRingDriver : public NetIf {
   // overhead the paper judged unacceptable; the T-mac bench quantifies it.
   void EnablePurgeDetect(std::function<void()> on_purge);
 
+  // --- CTMSP degradation hook ---------------------------------------------------------------
+  // Invoked (inside the transmit-complete interrupt, before the next packet is started) when
+  // a CTMSP packet failed on the wire: the frame-status bits the transmitter reads at
+  // interrupt level showed the destination did not copy it. The handler may call
+  // RetransmitCtmsp — a requeue to the head lands before StartNextTx picks the next packet,
+  // so an immediate retry preserves sequence order. Not installed = the stock behaviour:
+  // the loss is accepted silently (the paper's default).
+  using CtmspFailureHandler = std::function<void(TxStatus status, uint32_t seq, int64_t bytes)>;
+  void SetCtmspFailureHandler(CtmspFailureHandler handler) {
+    ctmsp_failure_ = std::move(handler);
+  }
+
+  // --- fault-injection hook -----------------------------------------------------------------
+  // Freezes the transmit scheduler (StartNextTx) for `duration`: queues keep filling but no
+  // packet is handed to the adapter until the freeze lifts (a wedged driver, distinct from a
+  // wedged card). Only the fault injector calls this.
+  void InjectTxFreeze(SimDuration duration);
+  bool tx_frozen() const;
+
   // --- statistics --------------------------------------------------------------------------
   uint64_t ctmsp_tx() const { return ctmsp_tx_; }
   uint64_t stock_tx() const { return stock_tx_; }
@@ -130,7 +149,7 @@ class TokenRingDriver : public NetIf {
  private:
   void StartNextTx();
   void TransmitPacket(Packet packet, bool is_ctmsp);
-  void OnTxComplete(const TokenRingAdapter::TxStatus& status);
+  void OnTxComplete(TxStatus status);
   void OnRxDmaComplete(const Frame& frame);
   void DrainIpintr();
 
@@ -144,7 +163,14 @@ class TokenRingDriver : public NetIf {
   IfQueue ipintr_q_;
   bool ipintr_scheduled_ = false;
   bool tx_in_progress_ = false;
+  SimTime tx_frozen_until_ = 0;
+  bool freeze_resume_scheduled_ = false;
+  // The packet currently at the adapter, remembered for the degradation hook.
+  bool inflight_is_ctmsp_ = false;
+  uint32_t inflight_seq_ = 0;
+  int64_t inflight_bytes_ = 0;
 
+  CtmspFailureHandler ctmsp_failure_;
   std::function<void(uint32_t, int64_t)> ctmsp_tx_notify_;
   std::function<void(const Packet&)> ip_input_;
   std::function<void(const Packet&)> arp_input_;

@@ -98,7 +98,20 @@ int64_t VcaSourceDriver::WirePacketBytes(const Config& config, uint32_t n) {
   return bytes < 1.0 ? 1 : static_cast<int64_t>(bytes);
 }
 
+void VcaSourceDriver::InjectStall(SimDuration duration) {
+  const SimTime until = kernel_->sim()->Now() + duration;
+  if (until > stalled_until_) {
+    stalled_until_ = until;
+  }
+}
+
 void VcaSourceDriver::OnIrq() {
+  if (stalled()) {
+    // The DSP is wedged: the tick grid keeps counting but the interrupt never reaches the
+    // host, so no handler runs and no packet (or sequence number) is produced.
+    ++stall_missed_irqs_;
+    return;
+  }
   ++interrupts_;
   interrupts_counter_->Increment();
   const SimTime now = kernel_->sim()->Now();

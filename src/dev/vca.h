@@ -90,10 +90,18 @@ class VcaSourceDriver {
              std::function<void(const Packet&)> deliver = nullptr);
   void Stop();
 
+  // --- fault-injection hook ---------------------------------------------------------------
+  // Wedges the card's DSP for `duration`: the 12 ms grid keeps running but no interrupt
+  // reaches the host, so no packet is built (a silence gap at the source, distinct from any
+  // transport loss). Extends an already-active stall. Only the fault injector calls this.
+  void InjectStall(SimDuration duration);
+  bool stalled() const { return kernel_->sim()->Now() < stalled_until_; }
+
   uint64_t interrupts() const { return interrupts_; }
   uint64_t packets_built() const { return packets_built_; }
   uint64_t mbuf_drops() const { return mbuf_drops_; }
   uint64_t queue_drops() const { return queue_drops_; }
+  uint64_t stall_missed_irqs() const { return stall_missed_irqs_; }
 
  private:
   void OnIrq();
@@ -109,10 +117,13 @@ class VcaSourceDriver {
   std::function<void(const Packet&)> deliver_;
   std::function<void()> cancel_;
 
+  SimTime stalled_until_ = 0;
+
   uint64_t interrupts_ = 0;
   uint64_t packets_built_ = 0;
   uint64_t mbuf_drops_ = 0;
   uint64_t queue_drops_ = 0;
+  uint64_t stall_missed_irqs_ = 0;
 
   // Cached telemetry slots (driver.vca.<machine>.*).
   Counter* interrupts_counter_;

@@ -1,0 +1,192 @@
+#include "src/fault/fault_injector.h"
+
+#include <utility>
+
+namespace ctms {
+
+std::vector<std::pair<std::string, double>> FaultReport::Stats() const {
+  return {
+      {"fault.events_applied", static_cast<double>(events_applied)},
+      {"fault.purges_injected", static_cast<double>(purges_injected)},
+      {"fault.insertions_injected", static_cast<double>(insertions_injected)},
+      {"fault.adapter_stalls", static_cast<double>(adapter_stalls)},
+      {"fault.driver_freezes", static_cast<double>(driver_freezes)},
+      {"fault.source_stalls", static_cast<double>(source_stalls)},
+      {"fault.corruption_windows", static_cast<double>(corruption_windows)},
+      {"fault.frames_corrupted", static_cast<double>(frames_corrupted)},
+      {"fault.congestion_frames", static_cast<double>(congestion_frames)},
+      {"fault.overrun_windows", static_cast<double>(overrun_windows)},
+  };
+}
+
+FaultInjector::FaultInjector(Simulation* sim, Rng rng, FaultPlan plan)
+    : sim_(sim), rng_(std::move(rng)), plan_(std::move(plan)) {
+  Telemetry& telemetry = sim_->telemetry();
+  events_counter_ = telemetry.metrics.GetCounter("fault.events_applied");
+  purges_counter_ = telemetry.metrics.GetCounter("fault.purges_injected");
+  insertions_counter_ = telemetry.metrics.GetCounter("fault.insertions_injected");
+  stalls_counter_ = telemetry.metrics.GetCounter("fault.stalls_injected");
+  corrupted_counter_ = telemetry.metrics.GetCounter("fault.frames_corrupted");
+  congestion_counter_ = telemetry.metrics.GetCounter("fault.congestion_frames");
+  overruns_counter_ = telemetry.metrics.GetCounter("fault.overrun_windows");
+  track_ = telemetry.tracer.RegisterTrack("fault");
+  // Plan events are already sorted by trigger time; scheduling them in plan order makes
+  // same-instant events fire in plan order (event insertion breaks simulation ties).
+  for (size_t i = 0; i < plan_.events().size(); ++i) {
+    sim_->At(plan_.events()[i].at, [this, i]() { Apply(plan_.events()[i]); });
+  }
+}
+
+SimDuration FaultInjector::Jitter(const FaultEvent& event) {
+  return event.jitter > 0 ? rng_.UniformDuration(0, event.jitter) : 0;
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  ++report_.events_applied;
+  events_counter_->Increment();
+  SpanTracer& tracer = sim_->telemetry().tracer;
+  if (tracer.enabled()) {
+    tracer.AddInstant(track_, FaultKindName(event.kind), sim_->Now());
+  }
+  switch (event.kind) {
+    case FaultKind::kPurgeStorm:
+      ApplyPurgeStorm(event);
+      return;
+    case FaultKind::kStationInsertion:
+      ApplyStationInsertion(event);
+      return;
+    case FaultKind::kAdapterStall:
+      ApplyAdapterStall(event);
+      return;
+    case FaultKind::kFrameCorruption:
+      ApplyFrameCorruption(event);
+      return;
+    case FaultKind::kCongestionBurst:
+      ApplyCongestionBurst(event);
+      return;
+    case FaultKind::kReceiverOverrun:
+      ApplyReceiverOverrun(event);
+      return;
+  }
+}
+
+void FaultInjector::ApplyPurgeStorm(const FaultEvent& event) {
+  if (ring_ == nullptr) {
+    return;
+  }
+  // All jitter draws happen here, in sub-event order, so the RNG stream never depends on
+  // what the ring looks like when the purges land.
+  for (int i = 0; i < event.count; ++i) {
+    const SimDuration offset = i * event.spacing + Jitter(event);
+    sim_->After(offset, [this]() {
+      ring_->TriggerRingPurge();
+      ++report_.purges_injected;
+      purges_counter_->Increment();
+    });
+  }
+}
+
+void FaultInjector::ApplyStationInsertion(const FaultEvent& event) {
+  (void)event;
+  if (ring_ == nullptr) {
+    return;
+  }
+  ring_->TriggerStationInsertion();
+  ++report_.insertions_injected;
+  insertions_counter_->Increment();
+}
+
+void FaultInjector::ApplyAdapterStall(const FaultEvent& event) {
+  if (event.component == "driver") {
+    for (auto& [name, driver] : drivers_) {
+      if (event.station.empty() || event.station == name) {
+        driver->InjectTxFreeze(event.duration);
+        ++report_.driver_freezes;
+        stalls_counter_->Increment();
+      }
+    }
+    return;
+  }
+  if (event.component == "source") {
+    for (auto& [name, source] : sources_) {
+      if (event.station.empty() || event.station == name) {
+        source->InjectStall(event.duration);
+        ++report_.source_stalls;
+        stalls_counter_->Increment();
+      }
+    }
+    return;
+  }
+  for (auto& [name, adapter] : adapters_) {
+    if (event.station.empty() || event.station == name) {
+      adapter->InjectTxStall(event.duration);
+      ++report_.adapter_stalls;
+      stalls_counter_->Increment();
+    }
+  }
+}
+
+void FaultInjector::ApplyFrameCorruption(const FaultEvent& event) {
+  if (ring_ == nullptr) {
+    return;
+  }
+  const SimTime until = sim_->Now() + event.duration;
+  if (until > corruption_until_) {
+    corruption_until_ = until;
+  }
+  corruption_probability_ = event.probability;
+  ++report_.corruption_windows;
+  if (!filter_installed_) {
+    filter_installed_ = true;
+    ring_->SetTxFaultFilter([this](const Frame&) {
+      if (sim_->Now() >= corruption_until_) {
+        return TxStatus::kDelivered;
+      }
+      if (!rng_.Chance(corruption_probability_)) {
+        return TxStatus::kDelivered;
+      }
+      ++report_.frames_corrupted;
+      corrupted_counter_->Increment();
+      return TxStatus::kCorrupted;
+    });
+  }
+}
+
+void FaultInjector::ApplyCongestionBurst(const FaultEvent& event) {
+  if (ring_ == nullptr) {
+    return;
+  }
+  if (burst_src_ == 0) {
+    burst_src_ = ring_->AllocateGhostAddress();
+    burst_dst_ = ring_->AllocateGhostAddress();
+  }
+  for (int i = 0; i < event.count; ++i) {
+    const SimDuration offset = i * event.spacing + Jitter(event);
+    sim_->After(offset, [this, bytes = event.bytes, priority = event.priority]() {
+      Frame frame;
+      frame.kind = FrameKind::kLlc;
+      frame.src = burst_src_;
+      frame.dst = burst_dst_;
+      frame.priority = priority;
+      frame.protocol = ProtocolId::kIp;
+      frame.payload_bytes = bytes;
+      frame.seq = burst_seq_++;
+      frame.created_at = sim_->Now();
+      ring_->RequestTransmit(std::move(frame), nullptr);
+      ++report_.congestion_frames;
+      congestion_counter_->Increment();
+    });
+  }
+}
+
+void FaultInjector::ApplyReceiverOverrun(const FaultEvent& event) {
+  for (auto& [name, adapter] : adapters_) {
+    if (event.station.empty() || event.station == name) {
+      adapter->InjectRxStall(event.duration);
+      ++report_.overrun_windows;
+      overruns_counter_->Increment();
+    }
+  }
+}
+
+}  // namespace ctms

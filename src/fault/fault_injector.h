@@ -1,0 +1,125 @@
+// FaultInjector — turns a FaultPlan into scheduled simulation events against the live
+// testbed, and keeps the book on everything it did (FaultReport).
+//
+// Binding contract: the injector never owns model objects; the testbed binds the ring and
+// each station's adapter/driver/VCA source by station name after construction, and events
+// resolve their targets at fire time (an event naming no station hits every bound instance).
+// Injection goes through four hooks, all inert when unused:
+//   - TokenRing::TriggerRingPurge / TriggerStationInsertion   (purge storms, insertions)
+//   - TokenRing::SetTxFaultFilter                             (frame corruption windows)
+//   - TokenRingAdapter::InjectTxStall / InjectRxStall         (adapter stalls, rx overruns)
+//   - TokenRingDriver::InjectTxFreeze, VcaSourceDriver::InjectStall  (the other stall sites)
+//
+// Determinism: the injector draws jitter and corruption decisions from its OWN forked Rng,
+// handed in at construction. A topology only constructs an injector for a non-empty plan, so
+// an empty plan takes no fork, registers no counters, and reproduces a plan-free run bit for
+// bit.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dev/tr_driver.h"
+#include "src/dev/vca.h"
+#include "src/fault/fault_plan.h"
+#include "src/ring/adapter.h"
+#include "src/ring/token_ring.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulation.h"
+
+namespace ctms {
+
+// What the injector actually did during a run. Every field is an injected cause (the
+// observed effects — lost packets, underruns — live in the experiment reports).
+struct FaultReport {
+  uint64_t events_applied = 0;
+  uint64_t purges_injected = 0;
+  uint64_t insertions_injected = 0;
+  uint64_t adapter_stalls = 0;
+  uint64_t driver_freezes = 0;
+  uint64_t source_stalls = 0;
+  uint64_t corruption_windows = 0;
+  uint64_t frames_corrupted = 0;  // frames the corruption filter actually destroyed
+  uint64_t congestion_frames = 0;
+  uint64_t overrun_windows = 0;
+
+  // Name/value pairs, "fault."-prefixed, in a fixed order — appended verbatim to the
+  // run-summary JSON so two identical runs serialize identically.
+  std::vector<std::pair<std::string, double>> Stats() const;
+};
+
+class FaultInjector {
+ public:
+  // Schedules every plan event at construction; `rng` must be a dedicated fork.
+  FaultInjector(Simulation* sim, Rng rng, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- target binding (testbed wiring) ------------------------------------------------------
+  void BindRing(TokenRing* ring) { ring_ = ring; }
+  void BindAdapter(const std::string& station, TokenRingAdapter* adapter) {
+    adapters_.emplace_back(station, adapter);
+  }
+  void BindDriver(const std::string& station, TokenRingDriver* driver) {
+    drivers_.emplace_back(station, driver);
+  }
+  void BindVcaSource(const std::string& station, VcaSourceDriver* source) {
+    sources_.emplace_back(station, source);
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultReport& report() const { return report_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  void ApplyPurgeStorm(const FaultEvent& event);
+  void ApplyStationInsertion(const FaultEvent& event);
+  void ApplyAdapterStall(const FaultEvent& event);
+  void ApplyFrameCorruption(const FaultEvent& event);
+  void ApplyCongestionBurst(const FaultEvent& event);
+  void ApplyReceiverOverrun(const FaultEvent& event);
+  // Uniform [0, event.jitter] from the injector's own stream; 0 when the event has none.
+  SimDuration Jitter(const FaultEvent& event);
+
+  Simulation* sim_;
+  Rng rng_;
+  FaultPlan plan_;
+
+  TokenRing* ring_ = nullptr;
+  std::vector<std::pair<std::string, TokenRingAdapter*>> adapters_;
+  std::vector<std::pair<std::string, TokenRingDriver*>> drivers_;
+  std::vector<std::pair<std::string, VcaSourceDriver*>> sources_;
+
+  // Corruption-window state behind the single installed TxFaultFilter; overlapping windows
+  // extend the deadline and the latest window's probability wins.
+  bool filter_installed_ = false;
+  SimTime corruption_until_ = 0;
+  double corruption_probability_ = 0.0;
+
+  // Ghost endpoints for congestion bursts, allocated at the first burst so plans without
+  // one leave the ring's address sequence untouched.
+  RingAddress burst_src_ = 0;
+  RingAddress burst_dst_ = 0;
+  uint32_t burst_seq_ = 1;
+
+  FaultReport report_;
+
+  // Cached telemetry slots (fault.*) and the injector's tracer track.
+  Counter* events_counter_;
+  Counter* purges_counter_;
+  Counter* insertions_counter_;
+  Counter* stalls_counter_;
+  Counter* corrupted_counter_;
+  Counter* congestion_counter_;
+  Counter* overruns_counter_;
+  TrackId track_ = kInvalidTrackId;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

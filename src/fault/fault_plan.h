@@ -1,0 +1,101 @@
+// FaultPlan — a deterministic, declarative schedule of fault events.
+//
+// A plan is an ordered list of typed events, each with an absolute trigger time and its own
+// parameters (duration, count, spacing, probability, target station). Plans are data: they
+// can be built in code (the static helpers), or parsed from the JSON file `ctms_sim
+// --faults=<plan.json>` points at. The injector (fault_injector.h) turns a plan into
+// scheduled simulation events; the same seed plus the same plan reproduces the same run
+// bit for bit, which is what makes fault experiments regressions instead of anecdotes.
+//
+// JSON schema (all fields beyond "kind" and "at_ms" optional, defaults below):
+//   {
+//     "version": 1,
+//     "events": [
+//       {"kind": "purge_storm",       "at_ms": 2000, "count": 8, "spacing_us": 3000,
+//        "jitter_us": 500},
+//       {"kind": "station_insertion", "at_ms": 3000},
+//       {"kind": "adapter_stall",     "at_ms": 1000, "duration_ms": 40,
+//        "station": "sender", "component": "adapter"},   // adapter | driver | source
+//       {"kind": "frame_corruption",  "at_ms": 500, "duration_ms": 200, "probability": 0.2},
+//       {"kind": "congestion_burst",  "at_ms": 700, "count": 50, "spacing_us": 800,
+//        "bytes": 1522, "priority": 0},
+//       {"kind": "receiver_overrun",  "at_ms": 900, "duration_ms": 30, "station": "receiver"}
+//     ]
+//   }
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ctms {
+
+enum class FaultKind {
+  kPurgeStorm,        // a burst of Ring Purges (the Active Monitor thrashing)
+  kStationInsertion,  // one full insertion: purge burst + 105-125 ms ring reset
+  kAdapterStall,      // wedge a station's tx path (card, driver, or interrupt source)
+  kFrameCorruption,   // window in which LLC frames fail their frame check with probability p
+  kCongestionBurst,   // ghost stations flood the wire with back-to-back frames
+  kReceiverOverrun,   // suspend a station's card-to-host rx DMA so onboard slots overflow
+};
+
+const char* FaultKindName(FaultKind kind);
+std::optional<FaultKind> ParseFaultKind(std::string_view name);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPurgeStorm;
+  SimTime at = 0;
+  SimDuration duration = 0;              // stall length / corruption window
+  int count = 1;                         // purges per storm / frames per burst
+  SimDuration spacing = Milliseconds(3); // between purges / between burst frames
+  SimDuration jitter = 0;                // uniform [0, jitter] per sub-event, injector RNG
+  double probability = 1.0;              // per-frame corruption probability in the window
+  int64_t bytes = 1522;                  // congestion-burst frame size (max LLC frame)
+  int priority = 0;                      // congestion-burst ring access priority
+  std::string station;                   // target station name; empty = every bound station
+  std::string component = "adapter";     // adapter_stall site: adapter | driver | source
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Inserts keeping events sorted by trigger time; same-time events stay in add order (the
+  // injector schedules in this order, and event insertion order breaks simulation ties).
+  FaultPlan& Add(FaultEvent event);
+
+  // --- builders (the spellings tests and the sweep use) -------------------------------------
+  static FaultEvent PurgeStorm(SimTime at, int count, SimDuration spacing,
+                               SimDuration jitter = 0);
+  static FaultEvent StationInsertion(SimTime at);
+  static FaultEvent AdapterStall(SimTime at, SimDuration duration, std::string station = "",
+                                 std::string component = "adapter");
+  static FaultEvent FrameCorruption(SimTime at, SimDuration duration, double probability);
+  static FaultEvent CongestionBurst(SimTime at, int count, SimDuration spacing,
+                                    int64_t bytes = 1522, int priority = 0);
+  static FaultEvent ReceiverOverrun(SimTime at, SimDuration duration, std::string station = "");
+
+  // --- serialization ------------------------------------------------------------------------
+  // Parses the JSON schema above. On failure returns nullopt and, when `error` is non-null,
+  // stores a one-line description of what was wrong and where.
+  static std::optional<FaultPlan> Parse(std::string_view json, std::string* error = nullptr);
+  static std::optional<FaultPlan> LoadFile(const std::string& path,
+                                           std::string* error = nullptr);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

@@ -49,8 +49,13 @@ class CtmspTransmitter {
   bool header_ready() const { return header_ready_; }
   void MarkHeaderReady() { header_ready_ = true; }
 
-  uint32_t NextSeq() { return next_seq_++; }
-  uint32_t packets_built() const { return next_seq_ - 1; }
+  uint32_t NextSeq() {
+    ++built_;
+    return next_seq_++;
+  }
+  // Counted in 64 bits, separately from the (wrapping) wire sequence number: `next_seq_ - 1`
+  // would read 2^32 - 1 on a fresh connection after a wrap and underflow at zero.
+  uint64_t packets_built() const { return built_; }
 
   // Called when the last packet has been handed to the adapter; remembered so a purge
   // notification can retransmit it out of the still-intact fixed DMA buffer.
@@ -71,6 +76,7 @@ class CtmspTransmitter {
   CtmspConnectionConfig config_;
   bool header_ready_ = false;
   uint32_t next_seq_ = 1;
+  uint64_t built_ = 0;
   std::optional<LastSent> last_sent_;
   uint64_t retransmissions_ = 0;
 };

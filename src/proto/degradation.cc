@@ -1,0 +1,57 @@
+#include "src/proto/degradation.h"
+
+namespace ctms {
+
+const char* DegradationModeName(DegradationMode mode) {
+  switch (mode) {
+    case DegradationMode::kDropOldest:
+      return "drop-oldest";
+    case DegradationMode::kBlock:
+      return "block";
+    case DegradationMode::kPurgeRetransmit:
+      return "purge-retransmit";
+  }
+  return "unknown";
+}
+
+std::optional<DegradationMode> ParseDegradationMode(std::string_view name) {
+  if (name == "drop" || name == "drop-oldest") {
+    return DegradationMode::kDropOldest;
+  }
+  if (name == "block") {
+    return DegradationMode::kBlock;
+  }
+  if (name == "retransmit" || name == "purge-retransmit") {
+    return DegradationMode::kPurgeRetransmit;
+  }
+  return std::nullopt;
+}
+
+DegradationPolicy::Decision DegradationPolicy::OnFailure(TxStatus status, uint32_t seq) {
+  (void)status;  // every failure kind degrades the same way; the report splits them out
+  switch (config_.mode) {
+    case DegradationMode::kDropOldest:
+      ++drops_;
+      return {Action::kDrop, 0};
+    case DegradationMode::kBlock:
+      ++retransmits_;
+      return {Action::kRetransmit, 0};
+    case DegradationMode::kPurgeRetransmit: {
+      if (seq != budget_seq_) {
+        budget_seq_ = seq;
+        budget_used_ = 0;
+      }
+      if (budget_used_ >= config_.retry_budget) {
+        ++drops_;
+        return {Action::kDrop, 0};
+      }
+      ++budget_used_;
+      ++retransmits_;
+      return {Action::kRetransmit, config_.backoff};
+    }
+  }
+  ++drops_;
+  return {Action::kDrop, 0};
+}
+
+}  // namespace ctms

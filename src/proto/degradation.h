@@ -1,0 +1,82 @@
+// CTMSP degradation policies — what the transmitter does when the frame-status bits report
+// that a packet did not make it (purge hit, corrupted frame, stalled adapter).
+//
+// The paper's CTMSP accepts loss silently: continuous media would rather skip a packet than
+// stall the stream (section 3). That is kDropOldest, the default, and it is byte-identical
+// to the pre-policy behaviour. The two alternatives bracket the design space the paper only
+// gestures at:
+//   - kBlock: retry the failed packet immediately and indefinitely. Sequence order is
+//     perfect, but the stream head-of-line blocks and the queues behind it fill up — the
+//     TCP-shaped failure mode the paper argues against.
+//   - kPurgeRetransmit: retry with a per-packet budget, each retry deferred by a backoff so
+//     a purge storm is not fed more frames mid-reset; once the budget is spent the packet is
+//     abandoned. Late arrivals land inside the receiver's delivered-window and fill the loss
+//     gap (CtmspReceiver::late_recovered).
+//
+// The policy object is pure decision state — the driver owns the actual requeue (a
+// RetransmitCtmsp to the head of the CTMSP queue preserves wire order).
+
+#ifndef SRC_PROTO_DEGRADATION_H_
+#define SRC_PROTO_DEGRADATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/ring/token_ring.h"
+#include "src/sim/time.h"
+
+namespace ctms {
+
+enum class DegradationMode {
+  kDropOldest,        // accept the loss, keep streaming (the paper's CTMSP)
+  kBlock,             // retry immediately, forever — order over liveness
+  kPurgeRetransmit,   // retry up to a budget, backing off between attempts
+};
+
+const char* DegradationModeName(DegradationMode mode);
+// Accepts the CLI spellings: "drop" / "drop-oldest", "block", "retransmit" /
+// "purge-retransmit". Returns nullopt for anything else.
+std::optional<DegradationMode> ParseDegradationMode(std::string_view name);
+
+class DegradationPolicy {
+ public:
+  struct Config {
+    DegradationMode mode = DegradationMode::kDropOldest;
+    // kPurgeRetransmit: attempts per packet beyond the original transmission.
+    int retry_budget = 3;
+    // kPurgeRetransmit: delay before each retry, so a storm's reset window can pass.
+    SimDuration backoff = Milliseconds(2);
+  };
+
+  enum class Action {
+    kDrop,        // give up on this packet
+    kRetransmit,  // requeue it (after `delay`)
+  };
+  struct Decision {
+    Action action = Action::kDrop;
+    SimDuration delay = 0;  // 0 = requeue in the failure interrupt itself
+  };
+
+  explicit DegradationPolicy(Config config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  // Consulted from the transmit-complete interrupt for every failed CTMSP packet.
+  Decision OnFailure(TxStatus status, uint32_t seq);
+
+  uint64_t drops() const { return drops_; }
+  uint64_t retransmits() const { return retransmits_; }
+
+ private:
+  Config config_;
+  // Retry budget is per packet: it resets when a different sequence number fails.
+  uint32_t budget_seq_ = 0;
+  int budget_used_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t retransmits_ = 0;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_PROTO_DEGRADATION_H_

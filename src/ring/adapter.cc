@@ -20,11 +20,23 @@ TokenRingAdapter::TokenRingAdapter(Machine* machine, TokenRing* ring, Config con
   mac_frames_seen_counter_ = metrics.GetCounter(prefix + "mac_frames_seen");
 }
 
-bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(const TxStatus&)> on_complete) {
+bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(TxStatus)> on_complete) {
   if (tx_busy_) {
     return false;
   }
   tx_busy_ = true;
+  if (tx_stalled()) {
+    // Card firmware is wedged (fault injection): the transmit command is accepted but the
+    // frame never reaches the wire; the transmit-complete interrupt reports the failure.
+    ++tx_stall_rejects_;
+    machine_->sim()->After(0, [this, on_complete = std::move(on_complete)]() {
+      tx_busy_ = false;
+      if (on_complete) {
+        on_complete(TxStatus::kAdapterStalled);
+      }
+    });
+    return true;
+  }
   frame.src = address_;
   // Card DMA pulls the packet out of the host fixed DMA buffer, then the wire transmission
   // is requested. Completion (and the destination's copy acknowledgment) arrives at
@@ -32,22 +44,44 @@ bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(const TxSta
   tx_dma_.Transfer(frame.payload_bytes, config_.dma_buffer_kind,
                    [this, frame = std::move(frame), on_complete = std::move(on_complete)]() mutable {
                      ring_->RequestTransmit(
-                         std::move(frame), [this, on_complete = std::move(on_complete)](
-                                               const TxOutcome& outcome) {
+                         std::move(frame),
+                         [this, on_complete = std::move(on_complete)](TxStatus status) {
                            tx_busy_ = false;
-                           if (outcome.delivered) {
+                           if (Delivered(status)) {
                              ++frames_transmitted_;
                              frames_transmitted_counter_->Increment();
                            }
                            if (on_complete) {
-                             TxStatus status;
-                             status.ok = outcome.delivered;
-                             status.purge_hit = outcome.purge_hit;
                              on_complete(status);
                            }
                          });
                    });
   return true;
+}
+
+void TokenRingAdapter::InjectTxStall(SimDuration duration) {
+  const SimTime until = machine_->sim()->Now() + duration;
+  if (until > tx_stalled_until_) {
+    tx_stalled_until_ = until;
+  }
+}
+
+void TokenRingAdapter::InjectRxStall(SimDuration duration) {
+  const SimTime until = machine_->sim()->Now() + duration;
+  if (until > rx_stalled_until_) {
+    rx_stalled_until_ = until;
+  }
+  if (!rx_resume_scheduled_) {
+    rx_resume_scheduled_ = true;
+    machine_->sim()->At(rx_stalled_until_, [this]() {
+      rx_resume_scheduled_ = false;
+      if (rx_stalled()) {  // the stall was extended meanwhile
+        InjectRxStall(rx_stalled_until_ - machine_->sim()->Now());
+        return;
+      }
+      TryStartRxDma();
+    });
+  }
 }
 
 void TokenRingAdapter::OnFrameOnWire(const Frame& frame) {
@@ -69,7 +103,7 @@ void TokenRingAdapter::OnFrameOnWire(const Frame& frame) {
 }
 
 void TokenRingAdapter::TryStartRxDma() {
-  if (rx_dma_active_ || onboard_rx_.empty() || free_host_rx_buffers_ == 0) {
+  if (rx_dma_active_ || onboard_rx_.empty() || free_host_rx_buffers_ == 0 || rx_stalled()) {
     return;
   }
   rx_dma_active_ = true;

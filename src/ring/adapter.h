@@ -47,12 +47,6 @@ class TokenRingAdapter {
     bool receive_mac_frames = false;
   };
 
-  struct TxStatus {
-    bool ok = false;         // destination copied the frame
-    bool purge_hit = false;  // frame destroyed by a Ring Purge (host cannot see this
-                             // directly; the driver only learns it in MAC-receive mode)
-  };
-
   TokenRingAdapter(Machine* machine, TokenRing* ring, Config config);
 
   RingAddress address() const { return address_; }
@@ -64,9 +58,22 @@ class TokenRingAdapter {
   // The driver has already copied the packet into the fixed tx DMA buffer (charging its own
   // CPU time). This starts card DMA out of that buffer and then the wire transmission.
   // Returns false if a transmission is already in progress (the driver must serialize —
-  // the paper's sequence-preservation constraint).
-  bool IssueTransmit(Frame frame, std::function<void(const TxStatus&)> on_complete);
+  // the paper's sequence-preservation constraint). The completion status is what the card's
+  // frame-status bits report at the transmit-complete interrupt (TxStatus::kDelivered on
+  // success); a stalled adapter completes with kAdapterStalled without touching the wire.
+  bool IssueTransmit(Frame frame, std::function<void(TxStatus)> on_complete);
   bool tx_busy() const { return tx_busy_; }
+
+  // --- fault-injection hooks --------------------------------------------------------------
+  // Card-firmware stalls (the AdapterStall / ReceiverOverrun fault kinds). A tx stall makes
+  // IssueTransmit complete with kAdapterStalled for its duration; an rx stall suspends the
+  // card-to-host DMA so the onboard slots fill and further arrivals overrun. Both extend an
+  // already-active stall rather than shortening it. Only the fault injector calls these.
+  void InjectTxStall(SimDuration duration);
+  void InjectRxStall(SimDuration duration);
+  bool tx_stalled() const { return machine_->sim()->Now() < tx_stalled_until_; }
+  bool rx_stalled() const { return machine_->sim()->Now() < rx_stalled_until_; }
+  uint64_t tx_stall_rejects() const { return tx_stall_rejects_; }
 
   // --- receive path -----------------------------------------------------------------------
   // Invoked when a received frame has been DMA'd into a host fixed DMA buffer. Runs at
@@ -112,11 +119,15 @@ class TokenRingAdapter {
   std::deque<Frame> onboard_rx_;  // includes the frame currently being DMA'd (front)
   int free_host_rx_buffers_;
   bool rx_dma_active_ = false;
+  SimTime tx_stalled_until_ = 0;
+  SimTime rx_stalled_until_ = 0;
+  bool rx_resume_scheduled_ = false;
 
   uint64_t frames_transmitted_ = 0;
   uint64_t frames_received_ = 0;
   uint64_t rx_overruns_ = 0;
   uint64_t mac_frames_seen_ = 0;
+  uint64_t tx_stall_rejects_ = 0;
 
   // Cached telemetry slots (adapter.<machine>.*).
   Counter* frames_transmitted_counter_;

@@ -8,7 +8,19 @@
 
 namespace ctms {
 
-TokenRing::TokenRing(Simulation* sim) : TokenRing(sim, Config{}) {}
+const char* TxStatusName(TxStatus status) {
+  switch (status) {
+    case TxStatus::kDelivered:
+      return "delivered";
+    case TxStatus::kPurgeHit:
+      return "purge_hit";
+    case TxStatus::kCorrupted:
+      return "corrupted";
+    case TxStatus::kAdapterStalled:
+      return "adapter_stalled";
+  }
+  return "unknown";
+}
 
 TokenRing::TokenRing(Simulation* sim, Config config) : sim_(sim), config_(config) {
   Telemetry& telemetry = sim_->telemetry();
@@ -16,6 +28,7 @@ TokenRing::TokenRing(Simulation* sim, Config config) : sim_(sim), config_(config
   frames_carried_counter_ = telemetry.metrics.GetCounter("ring.frames_carried");
   bytes_carried_counter_ = telemetry.metrics.GetCounter("ring.bytes_carried");
   frames_lost_counter_ = telemetry.metrics.GetCounter("ring.frames_lost_to_purge");
+  frames_corrupted_counter_ = telemetry.metrics.GetCounter("ring.frames_corrupted");
   purges_counter_ = telemetry.metrics.GetCounter("ring.purges");
   insertions_counter_ = telemetry.metrics.GetCounter("ring.insertions");
   mac_frames_counter_ = telemetry.metrics.GetCounter("ring.mac_frames");
@@ -40,7 +53,7 @@ SimDuration TokenRing::TokenAcquisitionTime() const {
          static_cast<SimDuration>(station_count()) * config_.per_station_latency;
 }
 
-void TokenRing::RequestTransmit(Frame frame, std::function<void(const TxOutcome&)> on_complete) {
+void TokenRing::RequestTransmit(Frame frame, std::function<void(TxStatus)> on_complete) {
   frame.id = next_frame_id_++;
   tx_requests_counter_->Increment();
   PendingTx tx{std::move(frame), std::move(on_complete), next_order_++};
@@ -86,13 +99,18 @@ void TokenRing::BeginTransmission(PendingTx tx) {
   }
   in_flight_event_ = sim_->After(on_wire, [this]() {
     in_flight_event_ = kInvalidEventId;
-    TxOutcome outcome;
-    outcome.delivered = true;
-    FinishTransmission(outcome);
+    // The fault filter models frame-check corruption on the wire: consulted only for LLC
+    // frames, and only when a filter is installed (fault plans), so the common path is
+    // untouched.
+    TxStatus status = TxStatus::kDelivered;
+    if (tx_fault_filter_ && in_flight_->frame.kind == FrameKind::kLlc) {
+      status = tx_fault_filter_(in_flight_->frame);
+    }
+    FinishTransmission(status);
   });
 }
 
-void TokenRing::FinishTransmission(const TxOutcome& outcome) {
+void TokenRing::FinishTransmission(TxStatus status) {
   assert(in_flight_.has_value());
   PendingTx done = std::move(*in_flight_);
   in_flight_.reset();
@@ -105,9 +123,9 @@ void TokenRing::FinishTransmission(const TxOutcome& outcome) {
                        {{"id", static_cast<int64_t>(done.frame.id)},
                         {"bytes", WireBytes(done.frame)},
                         {"priority", static_cast<int64_t>(done.frame.priority)},
-                        {"delivered", outcome.delivered ? 1 : 0}});
+                        {"delivered", Delivered(status) ? 1 : 0}});
   }
-  if (outcome.delivered) {
+  if (Delivered(status)) {
     ++frames_carried_;
     frames_carried_counter_->Increment();
     bytes_carried_ += WireBytes(done.frame);
@@ -118,12 +136,15 @@ void TokenRing::FinishTransmission(const TxOutcome& outcome) {
       mac_frames_counter_->Increment();
     }
     DeliverFrame(done.frame);
+  } else if (status == TxStatus::kCorrupted) {
+    ++frames_corrupted_;
+    frames_corrupted_counter_->Increment();
   } else {
     ++frames_lost_to_purge_;
     frames_lost_counter_->Increment();
   }
   if (done.on_complete) {
-    done.on_complete(outcome);
+    done.on_complete(status);
   }
   ServeNext();
 }
@@ -192,10 +213,7 @@ void TokenRing::TriggerRingPurge() {
       sim_->Cancel(in_flight_event_);
       in_flight_event_ = kInvalidEventId;
     }
-    TxOutcome outcome;
-    outcome.delivered = false;
-    outcome.purge_hit = true;
-    FinishTransmission(outcome);
+    FinishTransmission(TxStatus::kPurgeHit);
   }
   BlockUntil(now + config_.purge_recovery);
 }

@@ -30,32 +30,48 @@ namespace ctms {
 
 class TokenRingAdapter;
 
-// Outcome of a transmission attempt, reported to the sending adapter.
-struct TxOutcome {
-  bool delivered = false;   // destination copied the frame (or broadcast completed)
-  bool purge_hit = false;   // a Ring Purge destroyed the frame on the wire
+// Outcome of a transmission attempt, reported to the sending adapter (and from there to the
+// driver). One extensible enum instead of parallel bools so every fault mode the injection
+// layer can produce has exactly one spelling; the transmitter reads it at interrupt level
+// from the frame-status bits (same-ring acknowledgment), which is what CTMSP exploits
+// instead of acks.
+enum class TxStatus {
+  kDelivered,       // destination copied the frame (or broadcast completed)
+  kPurgeHit,        // a Ring Purge destroyed the frame on the wire
+  kCorrupted,       // frame-check failure on the wire (fault injection); not delivered
+  kAdapterStalled,  // the sending adapter was stalled (fault injection); never hit the wire
+};
+
+const char* TxStatusName(TxStatus status);
+
+// True when the frame reached its destination.
+inline bool Delivered(TxStatus status) { return status == TxStatus::kDelivered; }
+
+// Defined at namespace scope (not nested) so the constructor's `Config config = {}` default
+// argument is legal: a nested struct's default member initializers are only parsed once the
+// enclosing class is complete, which would reject brace-init in a default argument.
+struct TokenRingConfig {
+  int64_t bits_per_second = 4'000'000;
+  // Fixed cost of acquiring the token once the ring is free.
+  SimDuration token_acquisition_base = Microseconds(20);
+  // Added per attached station (each station's one-bit repeat latency and the like).
+  SimDuration per_station_latency = Nanoseconds(250);
+  // Ring blocked after a single purge before the token circulates again.
+  SimDuration purge_recovery = Milliseconds(1);
+  // Full reset after a station insertion (token claiming, neighbor notification).
+  SimDuration insertion_reset_min = Milliseconds(100);
+  SimDuration insertion_reset_max = Milliseconds(120);
+  // Back-to-back purges observed during one insertion ("on the order of 10").
+  int insertion_purges_min = 8;
+  int insertion_purges_max = 12;
 };
 
 class TokenRing {
  public:
-  struct Config {
-    int64_t bits_per_second = 4'000'000;
-    // Fixed cost of acquiring the token once the ring is free.
-    SimDuration token_acquisition_base = Microseconds(20);
-    // Added per attached station (each station's one-bit repeat latency and the like).
-    SimDuration per_station_latency = Nanoseconds(250);
-    // Ring blocked after a single purge before the token circulates again.
-    SimDuration purge_recovery = Milliseconds(1);
-    // Full reset after a station insertion (token claiming, neighbor notification).
-    SimDuration insertion_reset_min = Milliseconds(100);
-    SimDuration insertion_reset_max = Milliseconds(120);
-    // Back-to-back purges observed during one insertion ("on the order of 10").
-    int insertion_purges_min = 8;
-    int insertion_purges_max = 12;
-  };
+  using Config = TokenRingConfig;
 
-  explicit TokenRing(Simulation* sim);
-  TokenRing(Simulation* sim, Config config);
+  // The one constructor: a default-constructed Config is the paper's 4 Mbit ITC ring.
+  explicit TokenRing(Simulation* sim, Config config = {});
 
   Simulation* sim() { return sim_; }
   const Config& config() const { return config_; }
@@ -78,12 +94,20 @@ class TokenRing {
   // --- transmission ---------------------------------------------------------------------
   // Queues `frame` for transmission. `on_complete` fires when the frame leaves the wire
   // (delivered or destroyed). Called by adapters only.
-  void RequestTransmit(Frame frame, std::function<void(const TxOutcome&)> on_complete);
+  void RequestTransmit(Frame frame, std::function<void(TxStatus)> on_complete);
 
   // --- ring events ----------------------------------------------------------------------
   void TriggerRingPurge();
   void TriggerStationInsertion();
   bool blocked() const { return sim_->Now() < blocked_until_; }
+
+  // --- fault-injection hook -------------------------------------------------------------
+  // Consulted once per LLC frame at end-of-wire, before delivery. Returning anything other
+  // than kDelivered destroys the frame (a frame-check failure: the destination never copies
+  // it, the sender's frame-status bits show it). Installed only by the fault injector; an
+  // absent filter costs nothing, so no-fault runs are bit-identical to builds without it.
+  using TxFaultFilter = std::function<TxStatus(const Frame&)>;
+  void SetTxFaultFilter(TxFaultFilter filter) { tx_fault_filter_ = std::move(filter); }
 
   // --- observation ----------------------------------------------------------------------
   // Monitors see every frame that completes its trip around the ring, MAC frames included
@@ -101,6 +125,7 @@ class TokenRing {
   uint64_t frames_carried() const { return frames_carried_; }
   int64_t bytes_carried() const { return bytes_carried_; }
   uint64_t frames_lost_to_purge() const { return frames_lost_to_purge_; }
+  uint64_t frames_corrupted() const { return frames_corrupted_; }
   uint64_t purge_count() const { return purge_count_; }
   uint64_t insertion_count() const { return insertion_count_; }
   // Fraction of simulated time so far that the wire was occupied.
@@ -110,14 +135,14 @@ class TokenRing {
  private:
   struct PendingTx {
     Frame frame;
-    std::function<void(const TxOutcome&)> on_complete;
+    std::function<void(TxStatus)> on_complete;
     uint64_t order;  // for FIFO within a priority
   };
 
   // Starts the next transmission if the ring is free and something is queued.
   void ServeNext();
   void BeginTransmission(PendingTx tx);
-  void FinishTransmission(const TxOutcome& outcome);
+  void FinishTransmission(TxStatus status);
   void DeliverFrame(const Frame& frame);
   void BroadcastMacFrame(MacFrameType type);
   void BlockUntil(SimTime when);
@@ -139,10 +164,12 @@ class TokenRing {
 
   std::vector<FrameMonitor> monitors_;
   std::vector<PurgeMonitor> purge_monitors_;
+  TxFaultFilter tx_fault_filter_;
 
   uint64_t frames_carried_ = 0;
   int64_t bytes_carried_ = 0;
   uint64_t frames_lost_to_purge_ = 0;
+  uint64_t frames_corrupted_ = 0;
   uint64_t purge_count_ = 0;
   uint64_t insertion_count_ = 0;
   SimDuration wire_busy_time_ = 0;
@@ -153,6 +180,7 @@ class TokenRing {
   Counter* frames_carried_counter_;
   Counter* bytes_carried_counter_;
   Counter* frames_lost_counter_;
+  Counter* frames_corrupted_counter_;
   Counter* purges_counter_;
   Counter* insertions_counter_;
   Counter* mac_frames_counter_;

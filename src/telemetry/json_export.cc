@@ -174,7 +174,16 @@ std::string RunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo&
     os << (i > 0 ? "," : "") << "\n  \"" << JsonEscape(info.stats[i].first)
        << "\": " << NumberJson(info.stats[i].second);
   }
-  os << "\n},\n\"metrics\": " << MetricsJson(metrics) << "\n}\n";
+  os << "\n}";
+  if (!info.fault.empty()) {
+    os << ",\n\"fault_report\": {";
+    for (size_t i = 0; i < info.fault.size(); ++i) {
+      os << (i > 0 ? "," : "") << "\n  \"" << JsonEscape(info.fault[i].first)
+         << "\": " << NumberJson(info.fault[i].second);
+    }
+    os << "\n}";
+  }
+  os << ",\n\"metrics\": " << MetricsJson(metrics) << "\n}\n";
   return os.str();
 }
 

@@ -48,9 +48,12 @@ struct RunSummaryInfo {
   // Flat name -> value stats (delivery counts, utilizations, ...). Values that are whole
   // numbers render without a decimal point.
   std::vector<std::pair<std::string, double>> stats;
+  // FaultReport::Stats() when the run had a fault injector; empty = section omitted, so a
+  // plan-free run's summary is byte-identical to one from before faults existed.
+  std::vector<std::pair<std::string, double>> fault;
 };
 
-// Renders {"run":{...},"stats":{...},"metrics":{...}}.
+// Renders {"run":{...},"stats":{...}[,"fault_report":{...}],"metrics":{...}}.
 std::string RunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo& info);
 
 // Writes RunSummaryJson to `path`. Returns false on I/O failure.

@@ -178,6 +178,24 @@ Station* RingTopology::FindStation(const std::string& name) {
   return nullptr;
 }
 
+FaultInjector* RingTopology::ApplyFaultPlan(const FaultPlan& plan) {
+  if (plan.empty()) {
+    return nullptr;  // strict no-op: empty plans must not perturb the RNG or telemetry
+  }
+  assert(fault_injector_ == nullptr && "one fault plan per topology");
+  fault_injector_ = std::make_unique<FaultInjector>(&sim_, sim_.rng().Fork(), plan);
+  if (!rings_.empty()) {
+    fault_injector_->BindRing(rings_.front().get());
+  }
+  for (auto& station : stations_) {
+    for (size_t i = 0; i < station->port_count(); ++i) {
+      fault_injector_->BindAdapter(station->name(), &station->adapter(i));
+      fault_injector_->BindDriver(station->name(), &station->driver(i));
+    }
+  }
+  return fault_injector_.get();
+}
+
 void RingTopology::StartStations() {
   for (auto& station : stations_) {
     station->Start();

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/kern/process.h"
 #include "src/testbed/station.h"
 #include "src/workload/host_service.h"
@@ -106,12 +108,21 @@ class RingTopology {
   // Stations, then the whole environment.
   void StartAll();
 
+  // Instantiates a FaultInjector for `plan` and binds it to ring 0 plus every station's
+  // adapters and drivers (VCA sources are per-experiment; experiments bind those after this
+  // returns). Call it after all stations exist. An empty plan is a strict no-op — no RNG
+  // fork, no injector, no telemetry registration — so plan-free runs stay bit-identical.
+  // Returns the injector (owned by the topology), or nullptr for an empty plan.
+  FaultInjector* ApplyFaultPlan(const FaultPlan& plan);
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
  private:
   Simulation sim_;
   ProbeBus probes_;
   std::vector<std::unique_ptr<TokenRing>> rings_;
   std::vector<std::unique_ptr<Station>> stations_;
   BackgroundEnvironment environment_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace ctms

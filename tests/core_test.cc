@@ -6,7 +6,7 @@ namespace ctms {
 namespace {
 
 TEST(ScenarioTest, TestCaseAMatchesPaperDescription) {
-  const ScenarioConfig config = TestCaseA();
+  const CtmsConfig config = TestCaseA();
   EXPECT_EQ(config.dma_buffer_kind, MemoryKind::kIoChannelMemory);
   EXPECT_FALSE(config.tx_copy_vca_to_mbufs);
   EXPECT_TRUE(config.rx_copy_dma_to_mbufs);
@@ -19,7 +19,7 @@ TEST(ScenarioTest, TestCaseAMatchesPaperDescription) {
 }
 
 TEST(ScenarioTest, TestCaseBMatchesPaperDescription) {
-  const ScenarioConfig config = TestCaseB();
+  const CtmsConfig config = TestCaseB();
   EXPECT_TRUE(config.tx_copy_vca_to_mbufs);
   EXPECT_TRUE(config.rx_copy_dma_to_mbufs);
   EXPECT_TRUE(config.rx_copy_mbufs_to_device);
@@ -28,7 +28,7 @@ TEST(ScenarioTest, TestCaseBMatchesPaperDescription) {
 }
 
 TEST(ScenarioTest, OfferedRateArithmetic) {
-  ScenarioConfig config;
+  CtmsConfig config;
   config.packet_bytes = 2000;
   config.packet_period = Milliseconds(12);
   EXPECT_NEAR(config.OfferedKBytesPerSecond(), 166.67, 0.01);
@@ -85,11 +85,11 @@ TEST(BufferBudgetTest, EmptyAndDegenerateInputsAreSafe) {
 }
 
 TEST(ZeroCopyTest, EliminatesTheTransmitCopy) {
-  ScenarioConfig with_copy = TestCaseA();
+  CtmsConfig with_copy = TestCaseA();
   with_copy.duration = Seconds(10);
   const ExperimentReport copy_report = CtmsExperiment(with_copy).Run();
 
-  ScenarioConfig zero = TestCaseA();
+  CtmsConfig zero = TestCaseA();
   zero.tx_zero_copy = true;
   zero.duration = Seconds(10);
   const ExperimentReport zero_report = CtmsExperiment(zero).Run();
@@ -200,7 +200,7 @@ TEST(RouterTest, EndToEndLatencyIsAboutTwoHops) {
 }
 
 TEST(ExperimentReportTest, SummaryContainsTheHeadlineFields) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(5);
   const ExperimentReport report = CtmsExperiment(config).Run();
   const std::string summary = report.Summary();
@@ -211,7 +211,7 @@ TEST(ExperimentReportTest, SummaryContainsTheHeadlineFields) {
 }
 
 TEST(ExperimentControlTest, StartIsIdempotentAndReportWorksMidRun) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(30);
   CtmsExperiment experiment(config);
   experiment.Start();

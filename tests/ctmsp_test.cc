@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/proto/ctmsp.h"
+#include "src/proto/degradation.h"
+#include "src/ring/token_ring.h"
+
+namespace ctms {
+namespace {
+
+CtmspConnectionConfig Connection() {
+  CtmspConnectionConfig config;
+  config.peer = 2;
+  return config;
+}
+
+// --- receiver window edges ----------------------------------------------------------------
+
+TEST(CtmspReceiverWindowTest, LateArrivalExactlyWindowBehindIsOutOfOrder) {
+  CtmspReceiver receiver(Connection());
+  EXPECT_EQ(receiver.OnPacket(1), CtmspReceiver::Verdict::kDeliver);
+  // Jump ahead so packet 1 is exactly kDeliveredWindow behind the highest seen.
+  EXPECT_EQ(receiver.OnPacket(1 + CtmspReceiver::kDeliveredWindow),
+            CtmspReceiver::Verdict::kDeliver);
+  EXPECT_EQ(receiver.OnPacket(1), CtmspReceiver::Verdict::kOutOfOrder);
+  EXPECT_EQ(receiver.out_of_order(), 1u);
+  // One age younger sits just inside the window: a gap-filling late delivery, not an error.
+  EXPECT_EQ(receiver.OnPacket(2), CtmspReceiver::Verdict::kDeliver);
+  EXPECT_EQ(receiver.late_recovered(), 1u);
+}
+
+TEST(CtmspReceiverWindowTest, GapFillAfterPurgeUncountsTheLoss) {
+  CtmspReceiver receiver(Connection());
+  receiver.OnPacket(1);
+  receiver.OnPacket(2);
+  // Packet 3 purged; 4 arrives first and writes 3 off as lost.
+  receiver.OnPacket(4);
+  EXPECT_EQ(receiver.lost(), 1u);
+  // The retransmission lands late: delivered, and the loss is taken back.
+  EXPECT_EQ(receiver.OnPacket(3), CtmspReceiver::Verdict::kDeliver);
+  EXPECT_EQ(receiver.lost(), 0u);
+  EXPECT_EQ(receiver.late_recovered(), 1u);
+  EXPECT_EQ(receiver.delivered(), 4u);
+}
+
+TEST(CtmspReceiverWindowTest, DuplicateAfterRecoveryIsDroppedSilently) {
+  CtmspReceiver receiver(Connection());
+  receiver.OnPacket(1);
+  receiver.OnPacket(3);  // 2 lost
+  EXPECT_EQ(receiver.OnPacket(2), CtmspReceiver::Verdict::kDeliver);  // recovery
+  // The transmitter retransmitted a packet that did make it: ignore the second copy.
+  EXPECT_EQ(receiver.OnPacket(2), CtmspReceiver::Verdict::kDuplicate);
+  EXPECT_EQ(receiver.duplicates(), 1u);
+  EXPECT_EQ(receiver.delivered(), 3u);
+  EXPECT_EQ(receiver.lost(), 0u);
+}
+
+TEST(CtmspReceiverWindowTest, BigJumpClearsTheWindow) {
+  CtmspReceiver receiver(Connection());
+  receiver.OnPacket(1);
+  receiver.OnPacket(200);  // advance >= kDeliveredWindow shifts everything out
+  EXPECT_EQ(receiver.lost(), 198u);
+  // Packet 199 is inside the window but was never delivered: gap-fill works across the jump.
+  EXPECT_EQ(receiver.OnPacket(199), CtmspReceiver::Verdict::kDeliver);
+  EXPECT_EQ(receiver.late_recovered(), 1u);
+}
+
+// --- transmitter built counter ------------------------------------------------------------
+
+TEST(CtmspTransmitterTest, PacketsBuiltCountsInSixtyFourBits) {
+  CtmspTransmitter transmitter(Connection());
+  EXPECT_EQ(transmitter.packets_built(), 0u);  // fresh connection: nothing built yet
+  EXPECT_EQ(transmitter.NextSeq(), 1u);
+  EXPECT_EQ(transmitter.NextSeq(), 2u);
+  EXPECT_EQ(transmitter.packets_built(), 2u);
+  for (int i = 0; i < 100; ++i) {
+    transmitter.NextSeq();
+  }
+  EXPECT_EQ(transmitter.packets_built(), 102u);
+}
+
+// --- degradation policy -------------------------------------------------------------------
+
+TEST(DegradationPolicyTest, DropOldestNeverRetransmits) {
+  DegradationPolicy policy({DegradationMode::kDropOldest});
+  const auto decision = policy.OnFailure(TxStatus::kPurgeHit, 1);
+  EXPECT_EQ(decision.action, DegradationPolicy::Action::kDrop);
+  EXPECT_EQ(policy.drops(), 1u);
+  EXPECT_EQ(policy.retransmits(), 0u);
+}
+
+TEST(DegradationPolicyTest, BlockRetransmitsImmediatelyWithoutBudget) {
+  DegradationPolicy policy({DegradationMode::kBlock});
+  for (int i = 0; i < 10; ++i) {
+    const auto decision = policy.OnFailure(TxStatus::kPurgeHit, 7);
+    EXPECT_EQ(decision.action, DegradationPolicy::Action::kRetransmit);
+    EXPECT_EQ(decision.delay, 0);
+  }
+  EXPECT_EQ(policy.retransmits(), 10u);
+}
+
+TEST(DegradationPolicyTest, PurgeRetransmitExhaustsBudgetThenDrops) {
+  DegradationPolicy::Config config;
+  config.mode = DegradationMode::kPurgeRetransmit;
+  config.retry_budget = 2;
+  config.backoff = Milliseconds(5);
+  DegradationPolicy policy(config);
+  auto first = policy.OnFailure(TxStatus::kPurgeHit, 42);
+  EXPECT_EQ(first.action, DegradationPolicy::Action::kRetransmit);
+  EXPECT_EQ(first.delay, Milliseconds(5));
+  auto second = policy.OnFailure(TxStatus::kPurgeHit, 42);
+  EXPECT_EQ(second.action, DegradationPolicy::Action::kRetransmit);
+  // Budget spent on seq 42: the third failure gives up.
+  EXPECT_EQ(policy.OnFailure(TxStatus::kPurgeHit, 42).action,
+            DegradationPolicy::Action::kDrop);
+  // A different packet starts with a fresh budget.
+  EXPECT_EQ(policy.OnFailure(TxStatus::kPurgeHit, 43).action,
+            DegradationPolicy::Action::kRetransmit);
+  EXPECT_EQ(policy.retransmits(), 3u);
+  EXPECT_EQ(policy.drops(), 1u);
+}
+
+TEST(DegradationPolicyTest, ModeNamesRoundTrip) {
+  EXPECT_EQ(ParseDegradationMode("drop"), DegradationMode::kDropOldest);
+  EXPECT_EQ(ParseDegradationMode("drop-oldest"), DegradationMode::kDropOldest);
+  EXPECT_EQ(ParseDegradationMode("block"), DegradationMode::kBlock);
+  EXPECT_EQ(ParseDegradationMode("retransmit"), DegradationMode::kPurgeRetransmit);
+  EXPECT_EQ(ParseDegradationMode("purge-retransmit"), DegradationMode::kPurgeRetransmit);
+  EXPECT_EQ(ParseDegradationMode("never-heard-of-it"), std::nullopt);
+  for (DegradationMode mode : {DegradationMode::kDropOldest, DegradationMode::kBlock,
+                               DegradationMode::kPurgeRetransmit}) {
+    EXPECT_EQ(ParseDegradationMode(DegradationModeName(mode)), mode);
+  }
+}
+
+}  // namespace
+}  // namespace ctms

@@ -10,7 +10,7 @@ namespace ctms {
 namespace {
 
 TEST(TestCaseATest, Figure53Shape) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(60);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -37,7 +37,7 @@ TEST(TestCaseATest, Figure53Shape) {
 }
 
 TEST(TestCaseATest, NoRingEventsOnPrivateRing) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(20);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -49,7 +49,7 @@ TEST(TestCaseATest, NoRingEventsOnPrivateRing) {
 }
 
 TEST(TestCaseBTest, Figure52BimodalShape) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(120);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -72,7 +72,7 @@ TEST(TestCaseBTest, Figure52BimodalShape) {
 }
 
 TEST(TestCaseBTest, Figure54LatencyShape) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(120);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -96,7 +96,7 @@ TEST(TestCaseBTest, Figure54LatencyShape) {
 }
 
 TEST(TestCaseBTest, StreamSurvivesTheLoadedRing) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(120);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -108,7 +108,7 @@ TEST(TestCaseBTest, StreamSurvivesTheLoadedRing) {
 }
 
 TEST(TestCaseBTest, InsertionProducesExceptionalLatencyPoints) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(40);
   CtmsExperiment experiment(config);
   experiment.Start();
@@ -127,7 +127,7 @@ TEST(TestCaseBTest, InsertionProducesExceptionalLatencyPoints) {
 }
 
 TEST(TestCaseBTest, PurgeLossRecoverableWithRetransmitMode) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(40);
   config.retransmit_on_purge = true;
   CtmsExperiment experiment(config);
@@ -177,7 +177,7 @@ TEST(BaselineTest, ModifiedSystemSustainsWhatStockCannot) {
   const BaselineReport stock_report = BaselineExperiment(stock).Run();
   EXPECT_FALSE(stock_report.Sustained());
 
-  ScenarioConfig ctms = TestCaseB();
+  CtmsConfig ctms = TestCaseB();
   ctms.duration = Seconds(30);
   const ExperimentReport ctms_report = CtmsExperiment(ctms).Run();
   EXPECT_EQ(ctms_report.packets_lost, 0u);
@@ -185,7 +185,7 @@ TEST(BaselineTest, ModifiedSystemSustainsWhatStockCannot) {
 }
 
 TEST(MeasurementMethodTest, GroundTruthAndPcAtAgreeWithinToolError) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(30);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -199,7 +199,7 @@ TEST(MeasurementMethodTest, GroundTruthAndPcAtAgreeWithinToolError) {
 }
 
 TEST(MeasurementMethodTest, PseudoDeviceQuantizationVisible) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.method = MeasurementMethod::kRtPcPseudoDevice;
   config.duration = Seconds(10);
   CtmsExperiment experiment(config);
@@ -217,11 +217,11 @@ TEST(MeasurementMethodTest, InstrumentIntrusionShiftsTheMeasuredSystem) {
   // The pseudo-device's in-line recording cost (25 us per probe) is paid inside the
   // instrumented path; the PC/AT port write costs only 5 us. Ground-truth latencies of the
   // same scenario must differ accordingly.
-  ScenarioConfig pcat_config = TestCaseA();
+  CtmsConfig pcat_config = TestCaseA();
   pcat_config.duration = Seconds(20);
   const ExperimentReport pcat_report = CtmsExperiment(pcat_config).Run();
 
-  ScenarioConfig rtpc_config = TestCaseA();
+  CtmsConfig rtpc_config = TestCaseA();
   rtpc_config.method = MeasurementMethod::kRtPcPseudoDevice;
   rtpc_config.duration = Seconds(20);
   const ExperimentReport rtpc_report = CtmsExperiment(rtpc_config).Run();
@@ -234,7 +234,7 @@ TEST(MeasurementMethodTest, InstrumentIntrusionShiftsTheMeasuredSystem) {
 }
 
 TEST(TapTest, SeesTheWholeRingAndTheStream) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(30);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -246,7 +246,7 @@ TEST(TapTest, SeesTheWholeRingAndTheStream) {
 TEST(CopyAccountingTest, CtmsPathMakesTwoCpuCopiesPerPacket) {
   // Test Case A data path: tx copies mbufs->DMA buffer (1 CPU copy per packet), rx copies
   // DMA buffer->mbufs (1 CPU copy). DMA: out of the tx buffer and into the rx buffer.
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(20);
   CtmsExperiment experiment(config);
   const ExperimentReport report = experiment.Run();
@@ -259,11 +259,11 @@ TEST(CopyAccountingTest, CtmsPathMakesTwoCpuCopiesPerPacket) {
 }
 
 TEST(AblationTest, WithoutDriverPriorityTheStreamDegrades) {
-  ScenarioConfig with = TestCaseB();
+  CtmsConfig with = TestCaseB();
   with.duration = Seconds(60);
   const ExperimentReport with_report = CtmsExperiment(with).Run();
 
-  ScenarioConfig without = TestCaseB();
+  CtmsConfig without = TestCaseB();
   without.duration = Seconds(60);
   without.driver_priority = false;
   const ExperimentReport without_report = CtmsExperiment(without).Run();
@@ -275,7 +275,7 @@ TEST(AblationTest, WithoutDriverPriorityTheStreamDegrades) {
 }
 
 TEST(BufferBudgetTest, PaperConclusionHolds) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(120);
   CtmsExperiment experiment(config);
   experiment.Start();

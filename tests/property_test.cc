@@ -236,8 +236,8 @@ TEST_P(RingProperty, PerStationFifoHoldsUnderRandomPrioritiesAndSizes) {
     const uint32_t tag = frame.seq;
     sim.After(rng.UniformDuration(0, Milliseconds(500)), [&ring, &completed, frame, key,
                                                           tag]() mutable {
-      ring.RequestTransmit(std::move(frame), [&completed, key, tag](const TxOutcome& outcome) {
-        if (outcome.delivered) {
+      ring.RequestTransmit(std::move(frame), [&completed, key, tag](TxStatus status) {
+        if (Delivered(status)) {
           completed[key].push_back(tag);
         }
       });
@@ -335,7 +335,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BufferBudgetProperty, ::testing::Values(5, 55, 5
 // --- experiment determinism ---------------------------------------------------------------------
 
 TEST(DeterminismProperty, SameSeedSameResults) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(5);
   config.seed = 77;
   CtmsExperiment a(config);
@@ -348,7 +348,7 @@ TEST(DeterminismProperty, SameSeedSameResults) {
 }
 
 TEST(DeterminismProperty, DifferentSeedsDifferInDetail) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(5);
   config.seed = 1;
   const ExperimentReport ra = CtmsExperiment(config).Run();

@@ -13,7 +13,7 @@ namespace ctms {
 namespace {
 
 TEST(GoldenCalibration, TestCaseATenSeconds) {
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(10);
   config.seed = 1;
   const ExperimentReport report = CtmsExperiment(config).Run();
@@ -60,7 +60,7 @@ class PurgePhaseProperty : public ::testing::TestWithParam<int> {};
 TEST_P(PurgePhaseProperty, AnyPurgePhaseIsSafe) {
   const SimDuration offset = Microseconds(GetParam() * 500);
   for (const bool retransmit : {false, true}) {
-    ScenarioConfig config = TestCaseA();
+    CtmsConfig config = TestCaseA();
     config.duration = Seconds(5);
     config.retransmit_on_purge = retransmit;
     CtmsExperiment experiment(config);

@@ -53,14 +53,14 @@ TEST(TokenRingTest, TransmitDeliversAfterTokenPlusWireTime) {
   Simulation sim(1);
   TokenRing ring(&sim);
   SimTime done = -1;
-  TxOutcome outcome;
-  ring.RequestTransmit(MakeLlcFrame(1, 99, 1000), [&](const TxOutcome& o) {
+  TxStatus status = TxStatus::kPurgeHit;
+  ring.RequestTransmit(MakeLlcFrame(1, 99, 1000), [&](TxStatus s) {
     done = sim.Now();
-    outcome = o;
+    status = s;
   });
   sim.RunAll();
   EXPECT_EQ(done, ring.TokenAcquisitionTime() + ring.WireTime(1000 + kFrameOverheadBytes));
-  EXPECT_TRUE(outcome.delivered);
+  EXPECT_TRUE(Delivered(status));
   EXPECT_EQ(ring.frames_carried(), 1u);
 }
 
@@ -70,7 +70,7 @@ TEST(TokenRingTest, OneFrameOnWireAtATime) {
   std::vector<SimTime> done;
   for (int i = 0; i < 3; ++i) {
     ring.RequestTransmit(MakeLlcFrame(1, 99, 1000),
-                         [&](const TxOutcome&) { done.push_back(sim.Now()); });
+                         [&](TxStatus) { done.push_back(sim.Now()); });
   }
   sim.RunAll();
   ASSERT_EQ(done.size(), 3u);
@@ -88,10 +88,10 @@ TEST(TokenRingTest, HigherPriorityPassesQueuedFrames) {
   // preempt the wire, but passes the other queued frames).
   for (uint32_t i = 1; i <= 3; ++i) {
     ring.RequestTransmit(MakeLlcFrame(1, 99, 1000, 0, i),
-                         [&, i](const TxOutcome&) { completion_order.push_back(i); });
+                         [&, i](TxStatus) { completion_order.push_back(i); });
   }
   ring.RequestTransmit(MakeLlcFrame(2, 99, 1000, 6, 100),
-                       [&](const TxOutcome&) { completion_order.push_back(100); });
+                       [&](TxStatus) { completion_order.push_back(100); });
   sim.RunAll();
   EXPECT_EQ(completion_order, (std::vector<uint32_t>{1, 100, 2, 3}));
 }
@@ -102,7 +102,7 @@ TEST(TokenRingTest, SamePriorityIsFifo) {
   std::vector<uint32_t> order;
   for (uint32_t i = 1; i <= 4; ++i) {
     ring.RequestTransmit(MakeLlcFrame(1, 99, 100, 3, i),
-                         [&, i](const TxOutcome&) { order.push_back(i); });
+                         [&, i](TxStatus) { order.push_back(i); });
   }
   sim.RunAll();
   EXPECT_EQ(order, (std::vector<uint32_t>{1, 2, 3, 4}));
@@ -111,17 +111,17 @@ TEST(TokenRingTest, SamePriorityIsFifo) {
 TEST(TokenRingTest, PurgeDestroysInFlightFrame) {
   Simulation sim(1);
   TokenRing ring(&sim);
-  TxOutcome outcome;
+  TxStatus status = TxStatus::kDelivered;
   bool completed = false;
-  ring.RequestTransmit(MakeLlcFrame(1, 99, 2000), [&](const TxOutcome& o) {
-    outcome = o;
+  ring.RequestTransmit(MakeLlcFrame(1, 99, 2000), [&](TxStatus s) {
+    status = s;
     completed = true;
   });
   sim.After(Microseconds(100), [&]() { ring.TriggerRingPurge(); });
   sim.RunAll();
   EXPECT_TRUE(completed);
-  EXPECT_FALSE(outcome.delivered);
-  EXPECT_TRUE(outcome.purge_hit);
+  EXPECT_FALSE(Delivered(status));
+  EXPECT_EQ(status, TxStatus::kPurgeHit);
   EXPECT_EQ(ring.frames_lost_to_purge(), 1u);
   EXPECT_EQ(ring.purge_count(), 1u);
 }
@@ -140,7 +140,7 @@ TEST(TokenRingTest, PurgeBlocksRingBriefly) {
   TokenRing ring(&sim);
   ring.TriggerRingPurge();
   SimTime done = -1;
-  ring.RequestTransmit(MakeLlcFrame(1, 99, 100), [&](const TxOutcome&) { done = sim.Now(); });
+  ring.RequestTransmit(MakeLlcFrame(1, 99, 100), [&](TxStatus) { done = sim.Now(); });
   sim.RunAll();
   EXPECT_GE(done, ring.config().purge_recovery);
 }
@@ -151,7 +151,7 @@ TEST(TokenRingTest, InsertionCausesPurgeBurstAndLongBlock) {
   const size_t stations_before = ring.station_count();
   ring.TriggerStationInsertion();
   SimTime done = -1;
-  ring.RequestTransmit(MakeLlcFrame(1, 99, 100), [&](const TxOutcome&) { done = sim.Now(); });
+  ring.RequestTransmit(MakeLlcFrame(1, 99, 100), [&](TxStatus) { done = sim.Now(); });
   sim.RunAll();
   EXPECT_GE(ring.purge_count(), 8u);
   EXPECT_LE(ring.purge_count(), 12u);
@@ -217,9 +217,7 @@ TEST_F(AdapterTest, EndToEndTransmitDeliversToReceiver) {
   rx_adapter_.SetReceiveHandler([&](const Frame& frame) { received.push_back(frame); });
   bool tx_ok = false;
   ASSERT_TRUE(tx_adapter_.IssueTransmit(MakeLlcFrame(0, rx_adapter_.address(), 2000, 0, 7),
-                                        [&](const TokenRingAdapter::TxStatus& status) {
-                                          tx_ok = status.ok;
-                                        }));
+                                        [&](TxStatus status) { tx_ok = Delivered(status); }));
   sim_.RunAll();
   EXPECT_TRUE(tx_ok);
   ASSERT_EQ(received.size(), 1u);

@@ -340,8 +340,8 @@ TEST(JsonExportTest, WritersRoundTripToDisk) {
 
 // --- end-to-end acceptance -----------------------------------------------------------------
 
-ScenarioConfig ShortTestCaseB() {
-  ScenarioConfig config = TestCaseB();
+CtmsConfig ShortTestCaseB() {
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(2);
   return config;
 }

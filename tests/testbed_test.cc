@@ -136,7 +136,7 @@ TEST(ChainTopology, SameSeedRunsAreIdentical) {
 // feed the event queue's tie-breaking, so any drift shows up here as a hard failure.
 
 TEST(GoldenEquivalence, CtmsTestCaseBFiveSecondsSeed3) {
-  ScenarioConfig config = TestCaseB();
+  CtmsConfig config = TestCaseB();
   config.duration = Seconds(5);
   config.seed = 3;
   const ExperimentReport r = CtmsExperiment(config).Run();

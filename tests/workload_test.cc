@@ -346,7 +346,7 @@ TEST(LiveAnalyzerTest, CleanStreamNeverTrips) {
 TEST(LiveAnalyzerTest, HaltsTheWholeTestbedOnInjectedLoss) {
   // End to end, the way the paper used it: a Test Case A stream with the analyzer armed;
   // a purge kills a packet mid-run; every machine freezes at the trip point.
-  ScenarioConfig config = TestCaseA();
+  CtmsConfig config = TestCaseA();
   config.duration = Seconds(30);
   CtmsExperiment experiment(config);
   LiveAnalyzer analyzer(&experiment.probes(), &experiment.sim());

@@ -9,10 +9,16 @@
 //   ctms_sim --experiment=multistream --streams=3 --duration=20
 //   ctms_sim --experiment=server --clients=2 --duration=20
 //   ctms_sim --experiment=router --zero-copy
+//   ctms_sim --scenario=B --faults=plan.json --degradation=retransmit
+//   ctms_sim --experiment=faultsweep --sweep-levels=4 --duration=10
 //   ctms_sim --scenario=B --csv-prefix=/tmp/run1 --duration=300
 //
 // Prints the experiment summary, optionally an ASCII histogram, and optionally exports all
 // seven paper histograms as CSV.
+//
+// The flag tables below fill exactly one ScenarioConfig (src/core/scenario_cli.h); the
+// per-experiment config structs are built from it by the converters there, so the run
+// functions never hand-copy flag values.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,39 +37,12 @@ namespace {
 
 using namespace ctms;
 
-struct Options {
-  std::string experiment = "ctms";
-  std::string scenario = "A";
-  bool baseline = false;  // legacy spelling of --experiment=baseline
-  bool tcp = false;
-  int64_t duration_s = 30;
-  uint64_t seed = 1;
-  int64_t packet_bytes = 2000;
-  int64_t period_ms = 12;
-  int64_t streams = 2;
-  int64_t clients = 2;
-  std::string memory = "iocm";
-  std::string method = "pcat";
-  bool driver_priority = true;
-  int ring_priority = 6;
-  bool zero_copy = false;
-  bool retransmit = false;
-  int64_t insertion_mean_min = 0;
-  int histogram = 0;  // 0 = none, 1..7 = paper histogram number
-  int64_t bin_us = 500;
-  std::string csv_prefix;
-  std::string trace_path;
-  bool ground_truth_output = false;
-  std::string metrics_json;
-  std::string trace_json;
-  bool print_metrics = false;
-};
-
 void PrintUsage() {
   std::printf(
       "ctms_sim — reproduce the USENIX'91 CTMS experiments\n\n"
       "experiment selection:\n"
-      "  --experiment=NAME     ctms (default), baseline, multistream, server, or router\n"
+      "  --experiment=NAME     ctms (default), baseline, multistream, server, router,\n"
+      "                        or faultsweep\n"
       "  --scenario=A|B        Test Case A (private quiet ring) or B (loaded public ring)\n"
       "  --baseline            shorthand for --experiment=baseline\n"
       "  --tcp                 baseline uses TCP-lite instead of UDP\n"
@@ -81,6 +60,14 @@ void PrintUsage() {
       "  --retransmit          MAC-receive purge recovery\n"
       "  --insertions=MINUTES  mean minutes between station insertions (0=off)\n"
       "  --trace=FILE          replay a background-traffic CSV (offset_us,bytes) on loop\n\n"
+      "faults and degradation:\n"
+      "  --faults=FILE         deterministic fault plan JSON (see src/fault/fault_plan.h)\n"
+      "  --degradation=MODE    drop (default, silent loss), block, or retransmit\n"
+      "  --retry-budget=N      retransmit mode: retries per packet (default 3)\n"
+      "  --retry-backoff-ms=N  retransmit mode: delay before each retry (default 2)\n"
+      "  --sweep-levels=N      faultsweep: purge-storm intensity levels (default 4)\n"
+      "  --sweep-purges=N      faultsweep: purges per storm (default 25)\n"
+      "  --sweep-spacing-ms=N  faultsweep: spacing between purges in a storm (default 4)\n\n"
       "measurement and output:\n"
       "  --method=pcat|rtpc|logic|truth   instrument (default pcat)\n"
       "  --histogram=1..7      render a paper histogram as ASCII\n"
@@ -94,27 +81,26 @@ void PrintUsage() {
 
 // ---------------------------------------------------------------------------------------
 // Table-driven flag parsing. Three tables describe every flag: presence flags that set a
-// bool, value flags that fill a member, and post-parse validations. Adding a flag is one
-// table row; the parse loop and the error paths are shared.
+// bool, value flags that fill a ScenarioConfig member, and post-parse validations. Adding
+// a flag is one table row; the parse loop and the error paths are shared.
 
 struct BoolFlag {
   const char* name;
-  bool Options::*field;
+  bool ScenarioConfig::*field;
   bool value;  // what presence of the flag sets the field to
 };
 
 constexpr BoolFlag kBoolFlags[] = {
-    {"baseline", &Options::baseline, true},
-    {"tcp", &Options::tcp, true},
-    {"no-driver-priority", &Options::driver_priority, false},
-    {"zero-copy", &Options::zero_copy, true},
-    {"retransmit", &Options::retransmit, true},
-    {"ground-truth", &Options::ground_truth_output, true},
-    {"print-metrics", &Options::print_metrics, true},
+    {"tcp", &ScenarioConfig::tcp, true},
+    {"no-driver-priority", &ScenarioConfig::driver_priority, false},
+    {"zero-copy", &ScenarioConfig::zero_copy, true},
+    {"retransmit", &ScenarioConfig::retransmit, true},
+    {"ground-truth", &ScenarioConfig::ground_truth_output, true},
+    {"print-metrics", &ScenarioConfig::print_metrics, true},
 };
 
-using ValueTarget = std::variant<std::string Options::*, int64_t Options::*,
-                                 uint64_t Options::*, int Options::*>;
+using ValueTarget = std::variant<std::string ScenarioConfig::*, int64_t ScenarioConfig::*,
+                                 uint64_t ScenarioConfig::*, int ScenarioConfig::*>;
 
 struct ValueFlag {
   const char* name;
@@ -123,27 +109,34 @@ struct ValueFlag {
 };
 
 const ValueFlag kValueFlags[] = {
-    {"experiment", &Options::experiment, true},
-    {"scenario", &Options::scenario, true},
-    {"duration", &Options::duration_s, false},
-    {"seed", &Options::seed, false},
-    {"packet-bytes", &Options::packet_bytes, false},
-    {"period-ms", &Options::period_ms, false},
-    {"streams", &Options::streams, false},
-    {"clients", &Options::clients, false},
-    {"memory", &Options::memory, true},
-    {"method", &Options::method, true},
-    {"ring-priority", &Options::ring_priority, false},
-    {"insertions", &Options::insertion_mean_min, false},
-    {"histogram", &Options::histogram, false},
-    {"bin-us", &Options::bin_us, false},
-    {"csv-prefix", &Options::csv_prefix, false},
-    {"trace", &Options::trace_path, false},
-    {"metrics-json", &Options::metrics_json, true},
-    {"trace-json", &Options::trace_json, true},
+    {"experiment", &ScenarioConfig::experiment, true},
+    {"scenario", &ScenarioConfig::scenario, true},
+    {"duration", &ScenarioConfig::duration_s, false},
+    {"seed", &ScenarioConfig::seed, false},
+    {"packet-bytes", &ScenarioConfig::packet_bytes, false},
+    {"period-ms", &ScenarioConfig::period_ms, false},
+    {"streams", &ScenarioConfig::streams, false},
+    {"clients", &ScenarioConfig::clients, false},
+    {"memory", &ScenarioConfig::memory, true},
+    {"method", &ScenarioConfig::method, true},
+    {"ring-priority", &ScenarioConfig::ring_priority, false},
+    {"insertions", &ScenarioConfig::insertion_mean_min, false},
+    {"faults", &ScenarioConfig::faults_path, true},
+    {"degradation", &ScenarioConfig::degradation, true},
+    {"retry-budget", &ScenarioConfig::retry_budget, false},
+    {"retry-backoff-ms", &ScenarioConfig::retry_backoff_ms, false},
+    {"sweep-levels", &ScenarioConfig::sweep_levels, false},
+    {"sweep-purges", &ScenarioConfig::sweep_purges, false},
+    {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, false},
+    {"histogram", &ScenarioConfig::histogram, false},
+    {"bin-us", &ScenarioConfig::bin_us, false},
+    {"csv-prefix", &ScenarioConfig::csv_prefix, false},
+    {"trace", &ScenarioConfig::trace_path, false},
+    {"metrics-json", &ScenarioConfig::metrics_json, true},
+    {"trace-json", &ScenarioConfig::trace_json, true},
 };
 
-void StoreValue(Options* options, const ValueTarget& target, const std::string& value) {
+void StoreValue(ScenarioConfig* options, const ValueTarget& target, const std::string& value) {
   std::visit(
       [&](auto member) {
         using Field = std::remove_reference_t<decltype(options->*member)>;
@@ -159,43 +152,63 @@ void StoreValue(Options* options, const ValueTarget& target, const std::string& 
 // A string flag restricted to an enumerated set of spellings.
 struct ChoiceCheck {
   const char* name;
-  std::string Options::*field;
+  std::string ScenarioConfig::*field;
   std::initializer_list<const char*> allowed;
 };
 
 const ChoiceCheck kChoiceChecks[] = {
-    {"experiment", &Options::experiment, {"ctms", "baseline", "multistream", "server", "router"}},
-    {"scenario", &Options::scenario, {"A", "B"}},
-    {"memory", &Options::memory, {"iocm", "system"}},
-    {"method", &Options::method, {"pcat", "rtpc", "logic", "truth"}},
+    {"experiment",
+     &ScenarioConfig::experiment,
+     {"ctms", "baseline", "multistream", "server", "router", "faultsweep"}},
+    {"scenario", &ScenarioConfig::scenario, {"A", "B"}},
+    {"memory", &ScenarioConfig::memory, {"iocm", "system"}},
+    {"method", &ScenarioConfig::method, {"pcat", "rtpc", "logic", "truth"}},
+    {"degradation",
+     &ScenarioConfig::degradation,
+     {"drop", "drop-oldest", "block", "retransmit", "purge-retransmit"}},
 };
 
 // A numeric flag with an inclusive valid range.
 struct RangeCheck {
   const char* name;
-  std::variant<int64_t Options::*, int Options::*> field;
+  std::variant<int64_t ScenarioConfig::*, int ScenarioConfig::*> field;
   int64_t min;
   int64_t max;
   const char* message;
 };
 
 const RangeCheck kRangeChecks[] = {
-    {"duration", &Options::duration_s, 1, INT64_MAX,
+    {"duration", &ScenarioConfig::duration_s, 1, INT64_MAX,
      "--duration must be a positive number of seconds"},
-    {"packet-bytes", &Options::packet_bytes, 1, INT64_MAX, "--packet-bytes must be positive"},
-    {"period-ms", &Options::period_ms, 1, INT64_MAX, "--period-ms must be positive"},
-    {"streams", &Options::streams, 1, 16, "--streams must be between 1 and 16"},
-    {"clients", &Options::clients, 1, 16, "--clients must be between 1 and 16"},
-    {"histogram", &Options::histogram, 0, 7,
+    {"packet-bytes", &ScenarioConfig::packet_bytes, 1, INT64_MAX,
+     "--packet-bytes must be positive"},
+    {"period-ms", &ScenarioConfig::period_ms, 1, INT64_MAX, "--period-ms must be positive"},
+    {"streams", &ScenarioConfig::streams, 1, 16, "--streams must be between 1 and 16"},
+    {"clients", &ScenarioConfig::clients, 1, 16, "--clients must be between 1 and 16"},
+    {"retry-budget", &ScenarioConfig::retry_budget, 0, 1000,
+     "--retry-budget must be between 0 and 1000"},
+    {"retry-backoff-ms", &ScenarioConfig::retry_backoff_ms, 0, INT64_MAX,
+     "--retry-backoff-ms must be non-negative"},
+    {"sweep-levels", &ScenarioConfig::sweep_levels, 1, 16,
+     "--sweep-levels must be between 1 and 16"},
+    {"sweep-purges", &ScenarioConfig::sweep_purges, 1, 1000,
+     "--sweep-purges must be between 1 and 1000"},
+    {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, 1, INT64_MAX,
+     "--sweep-spacing-ms must be positive"},
+    {"histogram", &ScenarioConfig::histogram, 0, 7,
      "--histogram must be between 1 and 7, or 0 for none"},
 };
 
-bool ParseOptions(int argc, char** argv, Options* options) {
+bool ParseOptions(int argc, char** argv, ScenarioConfig* options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return false;
+    }
+    if (arg == "--baseline") {  // legacy spelling of --experiment=baseline
+      options->experiment = "baseline";
+      continue;
     }
     bool matched = false;
     for (const BoolFlag& flag : kBoolFlags) {
@@ -227,9 +240,6 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       return false;
     }
   }
-  if (options->baseline) {
-    options->experiment = "baseline";
-  }
   for (const ChoiceCheck& check : kChoiceChecks) {
     const std::string& value = options->*check.field;
     if (std::none_of(check.allowed.begin(), check.allowed.end(),
@@ -251,6 +261,16 @@ bool ParseOptions(int argc, char** argv, Options* options) {
       return false;
     }
   }
+  if (!options->faults_path.empty()) {
+    std::string error;
+    auto plan = FaultPlan::LoadFile(options->faults_path, &error);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "bad fault plan %s: %s (try --help)\n",
+                   options->faults_path.c_str(), error.c_str());
+      return false;
+    }
+    options->faults = std::move(*plan);
+  }
   return true;
 }
 
@@ -258,7 +278,7 @@ bool ParseOptions(int argc, char** argv, Options* options) {
 
 // Post-run telemetry output shared by all experiment front ends. Returns false if a
 // requested file could not be written.
-bool EmitTelemetry(const Options& options, Simulation& sim, const RunSummaryInfo& info) {
+bool EmitTelemetry(const ScenarioConfig& options, Simulation& sim, const RunSummaryInfo& info) {
   bool ok = true;
   if (options.print_metrics) {
     std::printf("telemetry counters:\n");
@@ -286,7 +306,7 @@ bool EmitTelemetry(const Options& options, Simulation& sim, const RunSummaryInfo
   return ok;
 }
 
-RunSummaryInfo MakeInfo(const Options& options, std::string scenario) {
+RunSummaryInfo MakeInfo(const ScenarioConfig& options, std::string scenario) {
   RunSummaryInfo info;
   info.scenario = std::move(scenario);
   info.duration_s = static_cast<double>(options.duration_s);
@@ -294,8 +314,11 @@ RunSummaryInfo MakeInfo(const Options& options, std::string scenario) {
   return info;
 }
 
-MemoryKind MemoryKindFor(const Options& options) {
-  return options.memory == "system" ? MemoryKind::kSystemMemory : MemoryKind::kIoChannelMemory;
+// Appends the injector's FaultReport to the run summary when the run had one.
+void AttachFaultReport(RunSummaryInfo* info, RingTopology& topology) {
+  if (const FaultInjector* injector = topology.fault_injector()) {
+    info->fault = injector->report().Stats();
+  }
 }
 
 const Histogram* SelectHistogram(const PaperHistograms& histograms, int number) {
@@ -319,15 +342,8 @@ const Histogram* SelectHistogram(const PaperHistograms& histograms, int number) 
   }
 }
 
-int RunBaseline(const Options& options) {
-  BaselineConfig config;
-  config.packet_bytes = options.packet_bytes;
-  config.packet_period = Milliseconds(options.period_ms);
-  config.use_tcp = options.tcp;
-  config.duration = Seconds(options.duration_s);
-  config.seed = options.seed;
-  config.dma_buffer_kind = MemoryKindFor(options);
-  BaselineExperiment experiment(config);
+int RunBaseline(const ScenarioConfig& options) {
+  BaselineExperiment experiment(BaselineConfigFrom(options));
   if (!options.trace_json.empty()) {
     experiment.sim().telemetry().tracer.set_enabled(true);
   }
@@ -338,22 +354,15 @@ int RunBaseline(const Options& options) {
     std::printf("wrote %s_latency.csv\n", options.csv_prefix.c_str());
   }
   RunSummaryInfo info = MakeInfo(options, options.tcp ? "baseline-tcp" : "baseline-udp");
+  AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
   }
   return report.Sustained() ? 0 : 2;
 }
 
-int RunMultiStream(const Options& options) {
-  MultiStreamConfig config;
-  config.streams = static_cast<int>(options.streams);
-  config.packet_bytes = options.packet_bytes;
-  config.packet_period = Milliseconds(options.period_ms);
-  config.dma_buffer_kind = MemoryKindFor(options);
-  config.ring_priority = options.ring_priority;
-  config.duration = Seconds(options.duration_s);
-  config.seed = options.seed;
-  MultiStreamExperiment experiment(config);
+int RunMultiStream(const ScenarioConfig& options) {
+  MultiStreamExperiment experiment(MultiStreamConfigFrom(options));
   if (!options.trace_json.empty()) {
     experiment.sim().telemetry().tracer.set_enabled(true);
   }
@@ -378,21 +387,15 @@ int RunMultiStream(const Options& options) {
       {"sink_underruns", static_cast<double>(underruns)},
       {"ring_utilization", report.ring_utilization},
   };
+  AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
   }
   return report.AllSustained() ? 0 : 2;
 }
 
-int RunServer(const Options& options) {
-  ServerConfig config;
-  config.clients = static_cast<int>(options.clients);
-  config.packet_bytes = options.packet_bytes;
-  config.packet_period = Milliseconds(options.period_ms);
-  config.dma_buffer_kind = MemoryKindFor(options);
-  config.duration = Seconds(options.duration_s);
-  config.seed = options.seed;
-  ServerExperiment experiment(config);
+int RunServer(const ScenarioConfig& options) {
+  ServerExperiment experiment(ServerConfigFrom(options));
   if (!options.trace_json.empty()) {
     experiment.sim().telemetry().tracer.set_enabled(true);
   }
@@ -419,21 +422,15 @@ int RunServer(const Options& options) {
       {"disk_utilization", report.disk_utilization},
       {"ring_utilization", report.ring_utilization},
   };
+  AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
   }
   return report.AllSustained() ? 0 : 2;
 }
 
-int RunRouter(const Options& options) {
-  RouterConfig config;
-  config.packet_bytes = options.packet_bytes;
-  config.packet_period = Milliseconds(options.period_ms);
-  config.dma_buffer_kind = MemoryKindFor(options);
-  config.forward_via_mbufs = !options.zero_copy;  // --zero-copy selects zero-copy forwarding
-  config.duration = Seconds(options.duration_s);
-  config.seed = options.seed;
-  RouterExperiment experiment(config);
+int RunRouter(const ScenarioConfig& options) {
+  RouterExperiment experiment(RouterConfigFrom(options));
   if (!options.trace_json.empty()) {
     experiment.sim().telemetry().tracer.set_enabled(true);
   }
@@ -452,33 +449,46 @@ int RunRouter(const Options& options) {
       {"ring_a_utilization", report.ring_a_utilization},
       {"ring_b_utilization", report.ring_b_utilization},
   };
+  AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
   }
   return report.KeepsUp() ? 0 : 2;
 }
 
-int RunCtms(const Options& options) {
-  ScenarioConfig config = options.scenario == "B" ? TestCaseB() : TestCaseA();
-  config.duration = Seconds(options.duration_s);
-  config.seed = options.seed;
-  config.packet_bytes = options.packet_bytes;
-  config.packet_period = Milliseconds(options.period_ms);
-  config.dma_buffer_kind = MemoryKindFor(options);
-  config.driver_priority = options.driver_priority;
-  config.ring_priority = options.ring_priority;
-  config.tx_zero_copy = options.zero_copy;
-  config.retransmit_on_purge = options.retransmit;
-  config.insertion_mean = Minutes(options.insertion_mean_min);
-  if (options.method == "rtpc") {
-    config.method = MeasurementMethod::kRtPcPseudoDevice;
-  } else if (options.method == "logic") {
-    config.method = MeasurementMethod::kLogicAnalyzer;
-  } else if (options.method == "truth") {
-    config.method = MeasurementMethod::kGroundTruth;
-  } else {
-    config.method = MeasurementMethod::kPcAt;
+int RunFaultSweep(const ScenarioConfig& options) {
+  FaultSweepExperiment experiment(FaultSweepConfigFrom(options));
+  const FaultSweepReport report = experiment.Run();
+  std::cout << report.Summary();
+  if (!options.metrics_json.empty()) {
+    // The sweep runs many independent simulations, so there is no single registry to dump;
+    // emit the degradation curve itself as the stats block instead.
+    RunSummaryInfo info = MakeInfo(options, "faultsweep");
+    for (const FaultSweepRow& row : report.rows) {
+      const std::string prefix =
+          "L" + std::to_string(row.level) + "_" + DegradationModeName(row.policy) + "_";
+      info.stats.emplace_back(prefix + "delivered_ratio", row.delivered_ratio);
+      info.stats.emplace_back(prefix + "purges", static_cast<double>(row.purges_injected));
+      info.stats.emplace_back(prefix + "retransmissions",
+                              static_cast<double>(row.retransmissions));
+    }
+    MetricsRegistry empty;
+    if (WriteRunSummaryJson(empty, info, options.metrics_json)) {
+      std::printf("wrote %s\n", options.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_json.c_str());
+      return 1;
+    }
   }
+  bool healthy = report.RetransmitBeatsDrop();
+  for (DegradationMode policy : report.config.policies) {
+    healthy = healthy && report.MonotoneNonIncreasing(policy);
+  }
+  return healthy ? 0 : 2;
+}
+
+int RunCtms(const ScenarioConfig& options) {
+  CtmsConfig config = CtmsConfigFrom(options);
 
   CtmsExperiment experiment(config);
   if (!options.trace_json.empty()) {
@@ -535,6 +545,7 @@ int RunCtms(const Options& options) {
       {"ring_purges", static_cast<double>(report.ring_purges)},
       {"ring_insertions", static_cast<double>(report.ring_insertions)},
   };
+  AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
   }
@@ -551,7 +562,7 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
-  Options options;
+  ScenarioConfig options;
   if (!ParseOptions(argc, argv, &options)) {
     return 1;
   }
@@ -566,6 +577,9 @@ int main(int argc, char** argv) {
   }
   if (options.experiment == "router") {
     return RunRouter(options);
+  }
+  if (options.experiment == "faultsweep") {
+    return RunFaultSweep(options);
   }
   return RunCtms(options);
 }
