@@ -29,10 +29,10 @@ int main() {
   const double second_peak = hist6.FractionWithin(Microseconds(9400), Microseconds(500));
   const double between = hist6.FractionBetween(Microseconds(3100), Microseconds(8900));
   const double tails = 1.0 - main_peak - second_peak - between;
+  const SimDuration median = hist6.Percentile(0.5);
 
   PrintRowHeader();
-  PrintRow("main peak position", "2600 us",
-           FormatDuration(hist6.Percentile(0.5)), "(median)");
+  PrintRow("main peak position", "2600 us", FormatDuration(median), "(median)");
   PrintRow("mass within +/-500 us of 2600 us", "68%", Pct(main_peak));
   PrintRow("mass within +/-500 us of 9400 us", "15%", Pct(second_peak));
   PrintRow("mass between the peaks", "16.5%", Pct(between));
@@ -41,8 +41,7 @@ int main() {
            FormatDuration(experiment.tx_machine().copies().CopyCost(
                2000, MemoryKind::kSystemMemory, MemoryKind::kIoChannelMemory)));
   std::printf("\n");
-  PrintJsonLine("fig5_2", "median_us",
-                static_cast<double>(hist6.Percentile(0.5)) / 1000.0);
+  PrintJsonLine("fig5_2", "median_us", static_cast<double>(median) / 1000.0);
   PrintJsonLine("fig5_2", "main_peak_mass", main_peak);
   PrintJsonLine("fig5_2", "second_peak_mass", second_peak);
   PrintJsonLine("fig5_2", "between_peaks_mass", between);

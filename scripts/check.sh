@@ -12,6 +12,10 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "=== bench smoke: event core before/after ==="
+./build/bench/micro_event_queue --smoke --json=BENCH_event_queue.json
+echo "wrote BENCH_event_queue.json"
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "=== tier 1 clean (sanitizers skipped) ==="
   exit 0

@@ -28,7 +28,8 @@ TokenRingDriver::TokenRingDriver(UnixKernel* kernel, TokenRingAdapter* adapter, 
   const std::string ifq_prefix = "kern." + machine + ".ifq.";
   for (IfQueue* q : {&ctmsp_q_, &snd_q_, &ipintr_q_}) {
     q->BindTelemetry(telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".enqueues"),
-                     telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".drops"));
+                     telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".drops"),
+                     telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".requeues"));
   }
 }
 

@@ -30,6 +30,23 @@ std::optional<Packet> IfQueue::Dequeue() {
   return packet;
 }
 
-void IfQueue::Requeue(const Packet& packet) { queue_.push_front(packet); }
+bool IfQueue::Requeue(const Packet& packet) {
+  if (static_cast<int>(queue_.size()) >= maxlen_) {
+    ++drops_;
+    if (drops_counter_ != nullptr) {
+      drops_counter_->Increment();
+    }
+    return false;
+  }
+  queue_.push_front(packet);
+  ++requeues_;
+  if (requeues_counter_ != nullptr) {
+    requeues_counter_->Increment();
+  }
+  if (queue_.size() > peak_depth_) {
+    peak_depth_ = queue_.size();
+  }
+  return true;
+}
 
 }  // namespace ctms

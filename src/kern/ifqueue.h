@@ -28,21 +28,26 @@ class IfQueue {
   bool Enqueue(const Packet& packet);
   std::optional<Packet> Dequeue();
   // Enqueue at the head — used by drivers that must retry the packet they just dequeued.
-  void Requeue(const Packet& packet);
+  // A retry cannot grow a bounded queue: if the queue is already at maxlen (fresh arrivals
+  // filled the slot the retry vacated), the packet is dropped with the same accounting as a
+  // full Enqueue and Requeue returns false. See PROTOCOL.md §2.4.1.
+  bool Requeue(const Packet& packet);
 
   bool empty() const { return queue_.empty(); }
   size_t size() const { return queue_.size(); }
   int maxlen() const { return maxlen_; }
   uint64_t drops() const { return drops_; }
   uint64_t enqueued_total() const { return enqueued_total_; }
+  uint64_t requeues() const { return requeues_; }
   size_t peak_depth() const { return peak_depth_; }
   const std::string& name() const { return name_; }
 
   // IfQueue has no Simulation*; the owning driver wires registry slots in after
-  // construction (kern.<machine>.ifq.<queue>.{enqueues,drops}). Either may be null.
-  void BindTelemetry(Counter* enqueues, Counter* drops) {
+  // construction (kern.<machine>.ifq.<queue>.{enqueues,drops,requeues}). Any may be null.
+  void BindTelemetry(Counter* enqueues, Counter* drops, Counter* requeues = nullptr) {
     enqueues_counter_ = enqueues;
     drops_counter_ = drops;
+    requeues_counter_ = requeues;
   }
 
  private:
@@ -51,9 +56,11 @@ class IfQueue {
   std::deque<Packet> queue_;
   uint64_t drops_ = 0;
   uint64_t enqueued_total_ = 0;
+  uint64_t requeues_ = 0;
   size_t peak_depth_ = 0;
   Counter* enqueues_counter_ = nullptr;
   Counter* drops_counter_ = nullptr;
+  Counter* requeues_counter_ = nullptr;
 };
 
 }  // namespace ctms

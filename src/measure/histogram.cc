@@ -18,13 +18,14 @@ std::string Histogram::SummaryLine() const {
     return name_ + ": (no samples)";
   }
   const SummaryStats s = Summary();
+  const std::vector<SimDuration> p = Percentiles({0.50, 0.98});
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s: n=%zu min=%s mean=%s max=%s p50=%s p98=%s stddev=%s", name_.c_str(),
                 s.count, FormatDuration(s.min).c_str(),
                 FormatDuration(static_cast<SimDuration>(s.mean)).c_str(),
-                FormatDuration(s.max).c_str(), FormatDuration(Percentile(0.50)).c_str(),
-                FormatDuration(Percentile(0.98)).c_str(),
+                FormatDuration(s.max).c_str(), FormatDuration(p[0]).c_str(),
+                FormatDuration(p[1]).c_str(),
                 FormatDuration(static_cast<SimDuration>(s.stddev)).c_str());
   return buf;
 }

@@ -29,6 +29,10 @@ class Histogram {
 
   SummaryStats Summary() const { return Summarize(samples_); }
   SimDuration Percentile(double p) const;
+  // Several percentiles from one sort of the samples; results align with `ps`.
+  std::vector<SimDuration> Percentiles(const std::vector<double>& ps) const {
+    return ctms::Percentiles(samples_, ps);
+  }
   double FractionWithin(SimDuration center, SimDuration halfwidth) const {
     return ctms::FractionWithin(samples_, center, halfwidth);
   }

@@ -30,19 +30,36 @@ SummaryStats Summarize(const std::vector<SimDuration>& samples) {
   return stats;
 }
 
-SimDuration Percentile(std::vector<SimDuration> samples, double p) {
-  assert(!samples.empty());
+SimDuration SortedPercentile(const std::vector<SimDuration>& sorted, double p) {
+  assert(!sorted.empty());
   assert(p >= 0.0 && p <= 1.0);
-  std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) {
-    return samples.front();
+  if (sorted.size() == 1) {
+    return sorted.front();
   }
-  const double rank = p * static_cast<double>(samples.size() - 1);
+  const double rank = p * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return static_cast<SimDuration>(std::llround(static_cast<double>(samples[lo]) +
-                                               frac * static_cast<double>(samples[hi] - samples[lo])));
+  return static_cast<SimDuration>(std::llround(static_cast<double>(sorted[lo]) +
+                                               frac * static_cast<double>(sorted[hi] - sorted[lo])));
+}
+
+SimDuration Percentile(const std::vector<SimDuration>& samples, double p) {
+  std::vector<SimDuration> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  return SortedPercentile(sorted, p);
+}
+
+std::vector<SimDuration> Percentiles(const std::vector<SimDuration>& samples,
+                                     const std::vector<double>& ps) {
+  std::vector<SimDuration> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<SimDuration> out;
+  out.reserve(ps.size());
+  for (const double p : ps) {
+    out.push_back(SortedPercentile(sorted, p));
+  }
+  return out;
 }
 
 double FractionWithin(const std::vector<SimDuration>& samples, SimDuration center,

@@ -22,7 +22,17 @@ struct SummaryStats {
 SummaryStats Summarize(const std::vector<SimDuration>& samples);
 
 // p in [0, 1]; linear interpolation between order statistics. Requires non-empty samples.
-SimDuration Percentile(std::vector<SimDuration> samples, double p);
+// Sorts an internal copy on every call — when computing several percentiles of one sample
+// set, use Percentiles(), which copies and sorts once.
+SimDuration Percentile(const std::vector<SimDuration>& samples, double p);
+
+// Percentile over samples already sorted ascending; no copy, no sort.
+SimDuration SortedPercentile(const std::vector<SimDuration>& sorted, double p);
+
+// Computes every percentile in `ps` from a single copy+sort of `samples`. Results align
+// with `ps` index-for-index. Requires non-empty samples.
+std::vector<SimDuration> Percentiles(const std::vector<SimDuration>& samples,
+                                     const std::vector<double>& ps);
 
 // Fraction of samples within +/- halfwidth of center (inclusive).
 double FractionWithin(const std::vector<SimDuration>& samples, SimDuration center,

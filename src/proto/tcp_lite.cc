@@ -1,5 +1,6 @@
 #include "src/proto/tcp_lite.h"
 
+#include <iterator>
 #include <utility>
 
 namespace ctms {
@@ -128,7 +129,20 @@ void TcpLiteEndpoint::HandleData(const Packet& packet) {
     return;
   }
   if (packet.seq > expected_seq_) {
-    reorder_.emplace(packet.seq, packet);
+    if (reorder_.size() >= static_cast<size_t>(config_.reorder_limit) &&
+        reorder_.find(packet.seq) == reorder_.end()) {
+      // Buffer full: keep the segments closest to the resequencing point and drop the
+      // farthest one — go-back-N retransmits it last anyway. The drop is counted so a
+      // loss-storm's memory cap is visible in the stats, not silent.
+      auto last = std::prev(reorder_.end());
+      if (packet.seq < last->first) {
+        reorder_.erase(last);
+        reorder_.emplace(packet.seq, packet);
+      }
+      ++reorder_drops_;
+    } else {
+      reorder_.emplace(packet.seq, packet);
+    }
     SendAck();  // duplicate cumulative ack signals the gap
     return;
   }

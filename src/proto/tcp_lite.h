@@ -36,6 +36,9 @@ class TcpLiteEndpoint {
     int64_t ack_bytes = 60;
     SimDuration rto = Milliseconds(500);
     int max_retransmits = 8;
+    // Receiver reorder buffer cap (segments). Under sustained loss the buffer would
+    // otherwise grow without limit; see PROTOCOL.md ("TCP-lite baseline notes").
+    int reorder_limit = 32;
   };
 
   // In-order delivery to the application.
@@ -49,8 +52,11 @@ class TcpLiteEndpoint {
   uint64_t acks_sent() const { return acks_sent_; }
   uint64_t delivered() const { return delivered_; }
   uint64_t send_queue_drops() const { return send_queue_drops_; }
+  uint64_t reorder_drops() const { return reorder_drops_; }
+  size_t reorder_buffered() const { return reorder_.size(); }
   bool failed() const { return failed_; }
   size_t unacked() const { return unacked_.size(); }
+  const Config& config() const { return config_; }
 
  private:
   friend class TcpLite;
@@ -87,6 +93,7 @@ class TcpLiteEndpoint {
   uint64_t acks_sent_ = 0;
   uint64_t delivered_ = 0;
   uint64_t send_queue_drops_ = 0;
+  uint64_t reorder_drops_ = 0;
 };
 
 // Per-machine TCP-lite instance: owns the port demux and creates endpoints.

@@ -1,43 +1,220 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace ctms {
 
-EventId EventQueue::Schedule(SimTime when, Action action) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  actions_.emplace(id, std::move(action));
-  return id;
-}
-
-bool EventQueue::Cancel(EventId id) { return actions_.erase(id) > 0; }
-
-void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
-    heap_.pop();
+EventQueue::EventQueue(const Config& config) : config_(config) {
+  assert(config_.wheel_bucket_width > 0);
+  assert((config_.wheel_bucket_width & (config_.wheel_bucket_width - 1)) == 0);
+  assert(config_.wheel_bucket_count > 0);
+  assert((config_.wheel_bucket_count & (config_.wheel_bucket_count - 1)) == 0);
+  while ((SimDuration{1} << (width_shift_ + 1)) <= config_.wheel_bucket_width) {
+    ++width_shift_;
   }
+  bucket_mask_ = config_.wheel_bucket_count - 1;
+  buckets_.resize(config_.wheel_bucket_count);
+  bucket_live_.assign(config_.wheel_bucket_count, 0);
 }
 
-SimTime EventQueue::NextTime() const {
-  SkipCancelled();
-  assert(!heap_.empty());
-  return heap_.top().when;
+uint32_t EventQueue::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t slot = free_head_;
+    Record& record = RecordAt(slot);
+    free_head_ = record.next_free;
+    record.next_free = kNoSlot;
+    --free_count_;
+    return slot;
+  }
+  if (slots_used_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Record[]>(kChunkSize));
+  }
+  return static_cast<uint32_t>(slots_used_++);
+}
+
+void EventQueue::FreeSlot(uint32_t slot) {
+  Record& record = RecordAt(slot);
+  record.action.Reset();
+  ++record.generation;  // invalidates every outstanding handle and index entry
+  record.location = kRecordFree;
+  record.next_free = free_head_;
+  free_head_ = slot;
+  ++free_count_;
+}
+
+EventId EventQueue::Schedule(SimTime when, Action action) {
+  const uint32_t slot = AllocSlot();
+  Record& record = RecordAt(slot);
+  record.when = when;
+  record.seq = next_seq_++;
+  record.action = std::move(action);
+
+  const Entry entry{when, record.seq, slot, record.generation};
+  int64_t bucket = BucketIndex(when);
+  if (bucket < wheel_base_) {
+    // Scheduled behind the wheel base (e.g. "at now" after the base advanced past that
+    // bucket's start): park it in the base bucket; the (when, seq) heap order inside the
+    // bucket keeps it ahead of later events.
+    bucket = wheel_base_;
+  }
+  if (bucket < wheel_base_ + static_cast<int64_t>(config_.wheel_bucket_count)) {
+    const auto phys = static_cast<size_t>(bucket) & bucket_mask_;
+    record.location = static_cast<int32_t>(phys);
+    std::vector<Entry>& b = buckets_[phys];
+    b.push_back(entry);
+    if (b.size() > 1) {
+      std::push_heap(b.begin(), b.end(), EntryAfter{});
+    }
+    ++bucket_live_[phys];
+    ++wheel_live_;
+    ++wheel_entries_;
+  } else {
+    record.location = kRecordFarHeap;
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    ++heap_live_;
+  }
+  ++live_;
+  min_valid_ = false;
+  UpdateGauges();
+  return (static_cast<EventId>(record.generation) << 32) | (slot + 1);
+}
+
+bool EventQueue::Cancel(EventId id) {
+  const uint32_t low = static_cast<uint32_t>(id & 0xffffffffu);
+  if (low == 0) {
+    return false;
+  }
+  const uint32_t slot = low - 1;
+  if (slot >= slots_used_) {
+    return false;
+  }
+  Record& record = RecordAt(slot);
+  if (record.generation != static_cast<uint32_t>(id >> 32) ||
+      record.location == kRecordFree) {
+    return false;
+  }
+  if (record.location == kRecordFarHeap) {
+    --heap_live_;
+  } else {
+    --bucket_live_[static_cast<size_t>(record.location)];
+    --wheel_live_;
+  }
+  FreeSlot(slot);  // the index entry goes stale and is dropped/compacted lazily
+  --live_;
+  min_valid_ = false;
+  CompactFarHeapIfStale();
+  UpdateGauges();
+  return true;
+}
+
+void EventQueue::CompactFarHeapIfStale() {
+  const size_t stale = heap_.size() - heap_live_;
+  if (stale <= 64 || stale <= heap_live_) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) { return !EntryLive(e); }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  ++heap_compactions_;
+}
+
+void EventQueue::FindMin() {
+  assert(live_ > 0);
+  const Entry* wheel_min = nullptr;
+  if (wheel_live_ > 0) {
+    while (bucket_live_[base_phys_] == 0) {
+      wheel_entries_ -= buckets_[base_phys_].size();
+      buckets_[base_phys_].clear();
+      ++wheel_base_;
+      base_phys_ = (base_phys_ + 1) & bucket_mask_;
+    }
+    std::vector<Entry>& bucket = buckets_[base_phys_];
+    while (!EntryLive(bucket.front())) {
+      std::pop_heap(bucket.begin(), bucket.end(), EntryAfter{});
+      bucket.pop_back();
+      --wheel_entries_;
+    }
+    wheel_min = &bucket.front();
+  }
+  const Entry* heap_min = nullptr;
+  if (heap_live_ > 0) {
+    while (!EntryLive(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+      heap_.pop_back();
+    }
+    heap_min = &heap_.front();
+  }
+  if (wheel_min != nullptr &&
+      (heap_min == nullptr || !EntryAfter{}(*wheel_min, *heap_min))) {
+    min_in_wheel_ = true;
+    min_entry_ = *wheel_min;
+  } else {
+    min_in_wheel_ = false;
+    min_entry_ = *heap_min;
+  }
+  min_valid_ = true;
+}
+
+SimTime EventQueue::NextTime() {
+  assert(!empty());
+  if (!min_valid_) {
+    FindMin();
+  }
+  return min_entry_.when;
 }
 
 EventQueue::Action EventQueue::PopNext(SimTime* when) {
-  SkipCancelled();
-  assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = actions_.find(top.id);
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  assert(!empty());
+  if (!min_valid_) {
+    FindMin();
+  }
+  const Entry entry = min_entry_;
+  Record& record = RecordAt(entry.slot);
+  Action action = std::move(record.action);
+  if (min_in_wheel_) {
+    const auto phys = static_cast<size_t>(record.location);
+    std::vector<Entry>& b = buckets_[phys];
+    if (b.size() > 1) {
+      std::pop_heap(b.begin(), b.end(), EntryAfter{});
+    }
+    b.pop_back();
+    --bucket_live_[phys];
+    --wheel_live_;
+    --wheel_entries_;
+    ++wheel_pops_;
+    if (wheel_pops_counter_ != nullptr) {
+      wheel_pops_counter_->Increment();
+    }
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    --heap_live_;
+    ++heap_pops_;
+    if (heap_pops_counter_ != nullptr) {
+      heap_pops_counter_->Increment();
+    }
+  }
+  FreeSlot(entry.slot);
+  --live_;
+  min_valid_ = false;
+  UpdateGauges();
   if (when != nullptr) {
-    *when = top.when;
+    *when = entry.when;
   }
   return action;
+}
+
+void EventQueue::UpdateGauges() {
+  if (slab_gauge_ != nullptr) {
+    slab_gauge_->Set(static_cast<int64_t>(slots_used_));
+  }
+  if (live_gauge_ != nullptr) {
+    live_gauge_->Set(static_cast<int64_t>(live_));
+  }
 }
 
 }  // namespace ctms

@@ -10,7 +10,12 @@ Simulation::Simulation(uint64_t seed)
     : rng_(seed),
       executed_counter_(telemetry_.metrics.GetCounter("sim.events_executed")),
       scheduled_counter_(telemetry_.metrics.GetCounter("sim.events_scheduled")),
-      cancelled_counter_(telemetry_.metrics.GetCounter("sim.events_cancelled")) {}
+      cancelled_counter_(telemetry_.metrics.GetCounter("sim.events_cancelled")) {
+  queue_.BindTelemetry(telemetry_.metrics.GetGauge("sim.event_pool.slots"),
+                       telemetry_.metrics.GetGauge("sim.event_pool.live"),
+                       telemetry_.metrics.GetCounter("sim.event_wheel.pops"),
+                       telemetry_.metrics.GetCounter("sim.event_heap.pops"));
+}
 
 EventId Simulation::After(SimDuration delay, EventQueue::Action action) {
   assert(delay >= 0);

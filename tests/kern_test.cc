@@ -135,6 +135,49 @@ TEST(IfQueueTest, FifoAndRequeue) {
   EXPECT_FALSE(queue.Dequeue().has_value());
 }
 
+TEST(IfQueueTest, RequeueAtFullDropsWithFullAccounting) {
+  // A driver retry must not grow the queue past maxlen: if fresh arrivals filled the slot
+  // the retry vacated, the retried packet is dropped with the same accounting as a full
+  // Enqueue.
+  IfQueue queue("q", 2);
+  Packet packet;
+  packet.seq = 1;
+  queue.Enqueue(packet);
+  std::optional<Packet> retry = queue.Dequeue();
+  ASSERT_TRUE(retry.has_value());
+  packet.seq = 2;
+  queue.Enqueue(packet);
+  packet.seq = 3;
+  queue.Enqueue(packet);  // queue back at maxlen
+  EXPECT_FALSE(queue.Requeue(*retry));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.drops(), 1u);
+  EXPECT_EQ(queue.requeues(), 0u);
+  EXPECT_EQ(queue.Dequeue()->seq, 2u);  // FIFO of the survivors is undisturbed
+  EXPECT_EQ(queue.Dequeue()->seq, 3u);
+}
+
+TEST(IfQueueTest, RequeueCountsAndTracksPeakDepth) {
+  Simulation sim(1);
+  Counter* requeues = sim.telemetry().metrics.GetCounter("test.ifq.requeues");
+  Counter* drops = sim.telemetry().metrics.GetCounter("test.ifq.drops");
+  IfQueue queue("q", 4);
+  queue.BindTelemetry(nullptr, drops, requeues);
+  Packet packet;
+  queue.Enqueue(packet);
+  queue.Enqueue(packet);
+  EXPECT_EQ(queue.peak_depth(), 2u);
+  std::optional<Packet> head = queue.Dequeue();
+  queue.Enqueue(packet);
+  queue.Enqueue(packet);  // depth 3 while the retry is in flight
+  EXPECT_TRUE(queue.Requeue(*head));
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.peak_depth(), 4u);  // requeue contributes to the depth high-water mark
+  EXPECT_EQ(queue.requeues(), 1u);
+  EXPECT_EQ(requeues->value(), 1u);
+  EXPECT_EQ(drops->value(), 0u);
+}
+
 class KernelFixture : public ::testing::Test {
  protected:
   KernelFixture() : sim_(1), machine_(&sim_, "m"), kernel_(&machine_) {

@@ -37,6 +37,40 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_EQ(Percentile(samples, 1.0), 100);
 }
 
+TEST(StatsTest, PercentilesMatchesRepeatedPercentileCalls) {
+  const std::vector<SimDuration> samples = {500, 100, 400, 200, 300};  // deliberately unsorted
+  const std::vector<double> ps = {0.0, 0.25, 0.5, 0.98, 1.0};
+  const std::vector<SimDuration> batch = Percentiles(samples, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(batch[i], Percentile(samples, ps[i])) << "p=" << ps[i];
+  }
+}
+
+TEST(StatsTest, PercentilesLeavesInputUnsorted) {
+  const std::vector<SimDuration> samples = {30, 10, 20};
+  Percentiles(samples, {0.5});
+  EXPECT_EQ(samples, (std::vector<SimDuration>{30, 10, 20}));
+}
+
+TEST(StatsTest, SortedPercentileOnPresortedSamples) {
+  const std::vector<SimDuration> sorted = {10, 20, 30, 40};
+  EXPECT_EQ(SortedPercentile(sorted, 0.0), 10);
+  EXPECT_EQ(SortedPercentile(sorted, 1.0), 40);
+  EXPECT_EQ(SortedPercentile(sorted, 0.5), 25);  // interpolates between 20 and 30
+}
+
+TEST(HistogramTest, PercentilesSortOnce) {
+  Histogram hist("h");
+  for (int i = 100; i >= 1; --i) {
+    hist.Add(Microseconds(i));
+  }
+  const std::vector<SimDuration> p = hist.Percentiles({0.50, 0.98});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], hist.Percentile(0.50));
+  EXPECT_EQ(p[1], hist.Percentile(0.98));
+}
+
 TEST(StatsTest, FractionWithinAndBetween) {
   const std::vector<SimDuration> samples = {100, 200, 300, 400, 500};
   EXPECT_DOUBLE_EQ(FractionWithin(samples, 300, 100), 0.6);  // 200,300,400

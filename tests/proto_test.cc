@@ -469,6 +469,77 @@ TEST(CtmspTest, TransmitterSequencesFromOne) {
   EXPECT_EQ(tx.packets_built(), 2u);
 }
 
+TEST_F(TcpFixture, ReorderBufferIsBoundedAndDropsAreCounted) {
+  // Inject a long out-of-order run (seq 1 missing) straight into the receiver: the reorder
+  // buffer must cap at reorder_limit, with overflow counted as drops rather than buffered.
+  std::vector<uint32_t> delivered;
+  e2_->SetDeliver([&](const Packet& packet) { delivered.push_back(packet.seq); });
+  const auto limit = static_cast<uint32_t>(e2_->config().reorder_limit);
+  for (uint32_t seq = 2; seq <= limit + 9; ++seq) {
+    Packet segment;
+    segment.ip_proto = kIpProtoTcp;
+    segment.bytes = 500;
+    segment.seq = seq;
+    segment.dst = 2;
+    segment.port = 80;
+    ip2_.Input(segment);
+  }
+  sim_.RunUntil(Seconds(1));
+  EXPECT_TRUE(delivered.empty());  // nothing can resequence without seq 1
+  EXPECT_EQ(e2_->reorder_buffered(), static_cast<size_t>(limit));
+  // seqs 2..limit+1 fill the buffer; the remaining 8 are farthest-first evictions.
+  EXPECT_EQ(e2_->reorder_drops(), 8u);
+
+  // The missing segment arrives: the retained closest-to-resequencing run flushes in order.
+  Packet head;
+  head.ip_proto = kIpProtoTcp;
+  head.bytes = 500;
+  head.seq = 1;
+  head.dst = 2;
+  head.port = 80;
+  ip2_.Input(head);
+  sim_.RunUntil(Seconds(2));
+  ASSERT_EQ(delivered.size(), static_cast<size_t>(limit) + 1);
+  for (uint32_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i], i + 1);
+  }
+  EXPECT_EQ(e2_->reorder_buffered(), 0u);
+}
+
+TEST_F(TcpFixture, ReorderOverflowKeepsSegmentsClosestToResequencingPoint) {
+  // When the buffer is full and a *closer* segment arrives, the farthest buffered one is
+  // evicted in its favour, so go-back-N re-covers only the tail.
+  std::vector<uint32_t> delivered;
+  e2_->SetDeliver([&](const Packet& packet) { delivered.push_back(packet.seq); });
+  const auto limit = static_cast<uint32_t>(e2_->config().reorder_limit);
+  auto inject = [this](uint32_t seq) {
+    Packet segment;
+    segment.ip_proto = kIpProtoTcp;
+    segment.bytes = 500;
+    segment.seq = seq;
+    segment.dst = 2;
+    segment.port = 80;
+    ip2_.Input(segment);
+  };
+  // Fill with far segments first (3..limit+3), then offer the nearer seq 2.
+  for (uint32_t seq = 3; seq <= limit + 2; ++seq) {
+    inject(seq);
+  }
+  sim_.RunUntil(Milliseconds(500));
+  EXPECT_EQ(e2_->reorder_buffered(), static_cast<size_t>(limit));
+  inject(2);
+  sim_.RunUntil(Seconds(1));
+  EXPECT_EQ(e2_->reorder_buffered(), static_cast<size_t>(limit));  // still capped
+  EXPECT_EQ(e2_->reorder_drops(), 1u);  // the farthest (limit+2) was evicted for seq 2
+  inject(1);
+  sim_.RunUntil(Seconds(2));
+  // 1, then the contiguous run 2..limit+1 (the evicted limit+2 is absent).
+  ASSERT_EQ(delivered.size(), static_cast<size_t>(limit) + 1);
+  for (uint32_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i], i + 1);
+  }
+}
+
 TEST(CtmspTest, HeaderPrecomputeHandshake) {
   CtmspTransmitter tx(CtmspConnectionConfig{});
   EXPECT_FALSE(tx.header_ready());

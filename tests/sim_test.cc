@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
@@ -175,6 +178,194 @@ TEST(EventQueueTest, NextTimeSkipsCancelled) {
   queue.Schedule(20, []() {});
   queue.Cancel(early);
   EXPECT_EQ(queue.NextTime(), 20);
+}
+
+TEST(EventQueueTest, CancelBetweenNextTimeAndPopRetargetsTheMin) {
+  EventQueue queue;
+  bool late_ran = false;
+  const EventId early = queue.Schedule(10, []() {});
+  queue.Schedule(20, [&]() { late_ran = true; });
+  EXPECT_EQ(queue.NextTime(), 10);  // caches the minimum
+  EXPECT_TRUE(queue.Cancel(early));
+  SimTime when = 0;
+  queue.PopNext(&when)();
+  EXPECT_EQ(when, 20);
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(EventQueueTest, CancelWhilePoppingSameInstant) {
+  // An event cancels a same-instant sibling that is already past NextTime() but not yet
+  // popped: the sibling must not run and the cancel must report success.
+  EventQueue queue;
+  bool b_ran = false;
+  EventId b = kInvalidEventId;
+  bool cancel_ok = false;
+  queue.Schedule(10, [&]() { cancel_ok = queue.Cancel(b); });
+  b = queue.Schedule(10, [&]() { b_ran = true; });
+  queue.Schedule(10, []() {});
+  while (!queue.empty()) {
+    queue.PopNext(nullptr)();
+  }
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_FALSE(b_ran);
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue queue;
+  const EventId id = queue.Schedule(5, []() {});
+  queue.PopNext(nullptr)();
+  EXPECT_FALSE(queue.Cancel(id));
+}
+
+TEST(EventQueueTest, SameInstantFifoAcrossWheelHeapBoundary) {
+  // Two events for the same instant, one scheduled while that instant was beyond the wheel
+  // horizon (far heap) and one scheduled once it was inside (wheel). Insertion order must
+  // still decide the tie, and both structures must actually have been used.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(Milliseconds(100), [&]() { order.push_back(1); });  // far → heap
+  for (SimTime t = Milliseconds(10); t <= Milliseconds(90); t += Milliseconds(10)) {
+    queue.Schedule(t, []() {});  // stepping events drag the wheel base forward
+  }
+  for (int i = 0; i < 9; ++i) {
+    queue.PopNext(nullptr)();
+  }
+  queue.Schedule(Milliseconds(100), [&]() { order.push_back(2); });  // near → wheel
+  while (!queue.empty()) {
+    queue.PopNext(nullptr)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_GT(queue.wheel_pops(), 0u);
+  EXPECT_GT(queue.far_heap_pops(), 0u);
+}
+
+TEST(EventQueueTest, SlabReuseDoesNotRecycleStaleGeneration) {
+  EventQueue queue;
+  const EventId stale = queue.Schedule(10, []() {});
+  EXPECT_TRUE(queue.Cancel(stale));
+  // The freed slot is reused; the old handle must not be able to touch the new event.
+  bool ran = false;
+  const EventId fresh = queue.Schedule(10, [&]() { ran = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(queue.Cancel(stale));
+  queue.PopNext(nullptr)();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelReclaimsCapturedResourcesImmediately) {
+  EventQueue queue;
+  auto resource = std::make_shared<int>(7);
+  const EventId id = queue.Schedule(Milliseconds(500), [resource]() {});
+  EXPECT_EQ(resource.use_count(), 2);
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_EQ(resource.use_count(), 1);  // not "when the heap entry is popped, eventually"
+}
+
+TEST(EventQueueTest, OversizedCaptureFallsBackToHeapAndStillRuns) {
+  EventQueue queue;
+  std::array<char, 128> big{};  // larger than InlineFunction::kInlineBytes
+  big[0] = 42;
+  char seen = 0;
+  queue.Schedule(1, [big, &seen]() { seen = big[0]; });
+  queue.PopNext(nullptr)();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, MillionCancelledRtoTimersHoldBoundedMemory) {
+  // The TCP-lite pattern that used to leak: re-arm a far (500 ms) timer, cancel it on the
+  // next ack, a million times. Slots must be reused and stale far-heap entries compacted.
+  EventQueue queue;
+  SimTime now = 0;
+  EventId armed = kInvalidEventId;
+  for (int i = 0; i < 1'000'000; ++i) {
+    if (armed != kInvalidEventId) {
+      EXPECT_TRUE(queue.Cancel(armed));
+    }
+    now += Microseconds(3);
+    armed = queue.Schedule(now + Milliseconds(500), []() {});
+  }
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_LE(queue.slab_slots(), 64u);        // slot reuse, not a million records
+  EXPECT_LE(queue.far_heap_entries(), 256u);  // stale entries compacted away
+  EXPECT_GT(queue.far_heap_compactions(), 0u);
+  EXPECT_TRUE(queue.Cancel(armed));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, DeterministicAcrossIdenticalOperationSequences) {
+  auto run = [](std::vector<SimTime>* pops) {
+    EventQueue queue;
+    Rng rng(99);
+    std::vector<EventId> ids;
+    SimTime now = 0;
+    for (int i = 0; i < 5000; ++i) {
+      const int op = static_cast<int>(rng.UniformInt(0, 3));
+      if (op <= 1 || queue.empty()) {
+        ids.push_back(queue.Schedule(now + rng.UniformInt(0, Milliseconds(40)), []() {}));
+      } else if (op == 2) {
+        queue.Cancel(ids[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(ids.size()) - 1))]);
+      } else {
+        SimTime when = 0;
+        queue.PopNext(&when)();
+        now = when;
+        pops->push_back(when);
+      }
+    }
+    while (!queue.empty()) {
+      SimTime when = 0;
+      queue.PopNext(&when)();
+      pops->push_back(when);
+    }
+  };
+  std::vector<SimTime> a;
+  std::vector<SimTime> b;
+  run(&a);
+  run(&b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventQueueTest, SmallWheelConfigStillOrdersCorrectly) {
+  // A deliberately tiny wheel (8 buckets of 1.024 us) forces constant wheel↔heap traffic;
+  // the (time, seq) contract must be unaffected by the geometry.
+  EventQueue::Config config;
+  config.wheel_bucket_width = 1 << 10;
+  config.wheel_bucket_count = 8;
+  EventQueue queue(config);
+  Rng rng(5);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime at = rng.UniformInt(0, Microseconds(200));
+    times.push_back(at);
+    queue.Schedule(at, []() {});
+  }
+  std::vector<SimTime> popped;
+  while (!queue.empty()) {
+    SimTime when = 0;
+    queue.PopNext(&when)();
+    popped.push_back(when);
+  }
+  std::sort(times.begin(), times.end());
+  EXPECT_EQ(popped, times);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineFunction f = [&hits]() { ++hits; };
+  InlineFunction g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move): post-move state is part of the contract
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunctionTest, ResetReleasesCaptures) {
+  auto resource = std::make_shared<int>(1);
+  InlineFunction f = [resource]() {};
+  EXPECT_EQ(resource.use_count(), 2);
+  f.Reset();
+  EXPECT_EQ(resource.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(f));
 }
 
 TEST(SimulationTest, ClockAdvancesWithEvents) {
