@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the full quality gate from ARCHITECTURE.md: the tier-1 build + test suite, then the
-# ASan/UBSan (and Leak) build of the unit tests. Both must be clean before merging.
+# Runs the full quality gate from ARCHITECTURE.md: the tier-1 build + test suite, the
+# ASan/UBSan (and Leak) build of the unit tests, and a TSan build exercising the campaign
+# worker pool. All must be clean before merging.
 #
 # Usage: scripts/check.sh [--tier1-only]
 set -euo pipefail
@@ -26,5 +27,15 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
 cmake --build build-asan -j "$(nproc)" --target ctms_tests
 ./build-asan/tests/ctms_tests
+
+echo "=== sanitizers: TSan (campaign worker pool) ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake --build build-tsan -j "$(nproc)" --target ctms_tests ctms_sim_cli
+# The campaign tests run real worker pools (jobs up to 8); the CLI run below pins the
+# end-to-end path at --jobs=4.
+./build-tsan/tests/ctms_tests --gtest_filter='Campaign*'
+./build-tsan/tools/ctms_sim --experiment=campaign --grid='seed=1:4' --jobs=4 --duration=1 \
+    > /dev/null
 
 echo "=== all gates clean ==="

@@ -1,0 +1,265 @@
+#include "src/campaign/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/core/baseline.h"
+#include "src/core/experiment.h"
+#include "src/core/faultsweep.h"
+#include "src/core/multi_stream.h"
+#include "src/core/report_stats.h"
+#include "src/core/router.h"
+#include "src/core/server.h"
+
+namespace ctms {
+
+namespace {
+
+RunSummaryInfo InfoFor(const ScenarioConfig& options, std::string scenario) {
+  RunSummaryInfo info;
+  info.scenario = std::move(scenario);
+  info.duration_s = static_cast<double>(options.duration_s);
+  info.seed = options.seed;
+  return info;
+}
+
+void AttachFaultReport(RunSummaryInfo* info, RingTopology& topology) {
+  if (const FaultInjector* injector = topology.fault_injector()) {
+    info->fault = injector->report().Stats();
+  }
+}
+
+// Snapshots the run's registry into the record, cut loose from the Simulation that owns
+// the live one.
+void SnapshotMetrics(CampaignRunRecord* record, Simulation& sim) {
+  record->metrics = std::make_unique<MetricsRegistry>();
+  record->metrics->MergeFrom(sim.telemetry().metrics);
+}
+
+}  // namespace
+
+CampaignRunRecord RunScenarioJob(const CampaignJob& job) {
+  const ScenarioConfig& options = job.config;
+  CampaignRunRecord record;
+  record.label = job.label;
+  if (options.experiment == "baseline") {
+    BaselineExperiment experiment(BaselineConfigFrom(options));
+    const BaselineReport report = experiment.Run();
+    record.info = InfoFor(options, options.tcp ? "baseline-tcp" : "baseline-udp");
+    record.info.stats = SummaryStats(report);
+    AttachFaultReport(&record.info, experiment.topology());
+    SnapshotMetrics(&record, experiment.sim());
+    record.healthy = report.Sustained();
+  } else if (options.experiment == "multistream") {
+    MultiStreamExperiment experiment(MultiStreamConfigFrom(options));
+    const MultiStreamReport report = experiment.Run();
+    record.info = InfoFor(options, "multistream");
+    record.info.stats = SummaryStats(report);
+    AttachFaultReport(&record.info, experiment.topology());
+    SnapshotMetrics(&record, experiment.sim());
+    record.healthy = report.AllSustained();
+  } else if (options.experiment == "server") {
+    ServerExperiment experiment(ServerConfigFrom(options));
+    const ServerReport report = experiment.Run();
+    record.info = InfoFor(options, "server");
+    record.info.stats = SummaryStats(report);
+    AttachFaultReport(&record.info, experiment.topology());
+    SnapshotMetrics(&record, experiment.sim());
+    record.healthy = report.AllSustained();
+  } else if (options.experiment == "router") {
+    RouterExperiment experiment(RouterConfigFrom(options));
+    const RouterReport report = experiment.Run();
+    record.info = InfoFor(options, options.zero_copy ? "router-zero-copy" : "router-mbuf");
+    record.info.stats = SummaryStats(report);
+    AttachFaultReport(&record.info, experiment.topology());
+    SnapshotMetrics(&record, experiment.sim());
+    record.healthy = report.KeepsUp();
+  } else if (options.experiment == "faultsweep") {
+    FaultSweepExperiment experiment(FaultSweepConfigFrom(options));
+    const FaultSweepReport report = experiment.Run();
+    record.info = InfoFor(options, "faultsweep");
+    record.info.stats = SummaryStats(report);
+    // The sweep spans many simulations; there is no single registry to snapshot.
+    bool healthy = report.RetransmitBeatsDrop();
+    for (DegradationMode policy : report.config.policies) {
+      healthy = healthy && report.MonotoneNonIncreasing(policy);
+    }
+    record.healthy = healthy;
+  } else {
+    const CtmsConfig config = CtmsConfigFrom(options);
+    CtmsExperiment experiment(config);
+    const ExperimentReport report = experiment.Run();
+    record.info = InfoFor(options, config.name);
+    record.info.stats = SummaryStats(report);
+    AttachFaultReport(&record.info, experiment.topology());
+    SnapshotMetrics(&record, experiment.sim());
+    record.healthy = report.packets_lost == 0 && report.sink_underruns == 0;
+  }
+  return record;
+}
+
+CampaignRunner::CampaignRunner(ScenarioConfig base, CampaignGrid grid, Options options)
+    : base_(std::move(base)), grid_(std::move(grid)), options_(std::move(options)) {}
+
+std::string CampaignRunner::Prepare() {
+  jobs_.clear();
+  prepared_ = false;
+  if (options_.jobs < 1) {
+    return "--jobs must be at least 1";
+  }
+  const std::vector<CampaignGrid::Point> points = grid_.Expand();
+  jobs_.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    CampaignJob job;
+    job.index = i;
+    job.label = points[i].Label();
+    ScenarioConfig cell = base_;
+    cell.experiment = base_.cell_experiment;
+    cell.grid_spec.clear();
+    cell.jobs = 1;
+    // Output belongs to the campaign, rendered once from the merged report; cells must
+    // never write files or print (workers would race on the same paths).
+    cell.histogram = 0;
+    cell.csv_prefix.clear();
+    cell.metrics_json.clear();
+    cell.trace_json.clear();
+    cell.print_metrics = false;
+    for (const auto& [name, value] : points[i].assignments) {
+      // The campaign's own shape is not sweepable from inside itself.
+      if (name == "experiment" || name == "grid" || name == "jobs" ||
+          name == "cell-experiment") {
+        return "grid axis '" + name + "' cannot be swept inside a campaign";
+      }
+      std::string error;
+      if (!ApplyScenarioAxis(&cell, name, value, &error)) {
+        return "grid point " + job.label + ": " + error;
+      }
+    }
+    const std::string error = ValidateScenarioConfig(cell);
+    if (!error.empty()) {
+      return "grid point " + job.label + ": " + error;
+    }
+    if (cell.faults_path != base_.faults_path) {
+      // A faults axis swept the plan file; the pre-parsed base plan no longer matches.
+      std::string load_error;
+      auto plan = FaultPlan::LoadFile(cell.faults_path, &load_error);
+      if (!plan.has_value()) {
+        return "grid point " + job.label + ": bad fault plan " + cell.faults_path + ": " +
+               load_error;
+      }
+      cell.faults = std::move(*plan);
+    }
+    if (options_.independent_faults) {
+      // Submission index + 1: salt 0 means "no salt" to the injector fork.
+      cell.faults.set_rng_salt(static_cast<uint64_t>(i) + 1);
+    }
+    job.config = std::move(cell);
+    jobs_.push_back(std::move(job));
+  }
+  prepared_ = true;
+  return "";
+}
+
+CampaignRunRecord CampaignRunner::RunOne(const CampaignJob& job) {
+  CampaignRunRecord record = options_.run_job ? options_.run_job(job) : RunScenarioJob(job);
+  record.label = job.label;
+  return record;
+}
+
+CampaignReport CampaignRunner::Run() {
+  CampaignReport report;
+  report.cell_experiment = base_.cell_experiment;
+  report.grid_spec = grid_.Spec();
+  if (!prepared_) {
+    return report;
+  }
+  report.runs.resize(jobs_.size());
+  const size_t worker_count =
+      std::min(static_cast<size_t>(options_.jobs), jobs_.size());
+  if (worker_count <= 1) {
+    for (const CampaignJob& job : jobs_) {
+      if (options_.before_run) {
+        options_.before_run(job.index);
+      }
+      report.runs[job.index] = RunOne(job);
+    }
+    return report;
+  }
+  // Shared state between workers: the claim cursor, and each worker's exclusive result
+  // slots. A worker claims job i, runs it on a testbed it alone owns, and writes only
+  // report.runs[i]; the join below is the only synchronization the merge needs.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= jobs_.size()) {
+          return;
+        }
+        if (options_.before_run) {
+          options_.before_run(i);
+        }
+        report.runs[i] = RunOne(jobs_[i]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return report;
+}
+
+size_t CampaignReport::HealthyCount() const {
+  size_t healthy = 0;
+  for (const CampaignRunRecord& run : runs) {
+    if (run.healthy) {
+      ++healthy;
+    }
+  }
+  return healthy;
+}
+
+bool CampaignReport::AllHealthy() const { return HealthyCount() == runs.size(); }
+
+std::string CampaignReport::Summary() const {
+  std::ostringstream os;
+  os << "campaign: " << runs.size() << " " << cell_experiment << " runs over grid "
+     << (grid_spec.empty() ? "(base config)" : grid_spec) << "\n";
+  os << "  index  healthy  label\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    os << "  " << std::setw(5) << i << "  " << std::setw(7)
+       << (runs[i].healthy ? "yes" : "NO") << "  " << runs[i].label << "\n";
+  }
+  os << "  healthy: " << HealthyCount() << "/" << runs.size() << "\n";
+  return os.str();
+}
+
+std::vector<CampaignRunView> CampaignReport::Views() const {
+  std::vector<CampaignRunView> views;
+  views.reserve(runs.size());
+  for (const CampaignRunRecord& run : runs) {
+    CampaignRunView view;
+    view.label = run.label;
+    view.healthy = run.healthy;
+    view.info = &run.info;
+    view.metrics = run.metrics.get();
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+std::string CampaignReport::MergedJson() const {
+  return CampaignJson(cell_experiment, grid_spec, Views());
+}
+
+bool CampaignReport::WriteMergedJson(const std::string& path) const {
+  return WriteCampaignJson(cell_experiment, grid_spec, Views(), path);
+}
+
+}  // namespace ctms

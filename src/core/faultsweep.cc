@@ -11,6 +11,7 @@ FaultSweepExperiment::FaultSweepExperiment(FaultSweepConfig config)
 
 FaultPlan FaultSweepExperiment::PlanForLevel(int level) const {
   FaultPlan plan;
+  plan.set_rng_salt(config_.base.faults.rng_salt());
   for (int storm = 0; storm < level; ++storm) {
     const SimTime at = config_.first_storm_at + storm * config_.storm_period;
     plan.Add(FaultPlan::PurgeStorm(at, config_.purges_per_storm, config_.purge_spacing));

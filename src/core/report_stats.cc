@@ -1,0 +1,111 @@
+#include "src/core/report_stats.h"
+
+namespace ctms {
+
+StatList SummaryStats(const ExperimentReport& report) {
+  return {
+      {"packets_built", static_cast<double>(report.packets_built)},
+      {"packets_delivered", static_cast<double>(report.packets_delivered)},
+      {"packets_lost", static_cast<double>(report.packets_lost)},
+      {"duplicates", static_cast<double>(report.duplicates)},
+      {"out_of_order", static_cast<double>(report.out_of_order)},
+      {"retransmissions", static_cast<double>(report.retransmissions)},
+      {"sink_underruns", static_cast<double>(report.sink_underruns)},
+      {"sink_peak_buffer_bytes", static_cast<double>(report.sink_peak_buffer)},
+      {"tx_cpu_utilization", report.tx_cpu_utilization},
+      {"rx_cpu_utilization", report.rx_cpu_utilization},
+      {"ring_utilization", report.ring_utilization},
+      {"ring_purges", static_cast<double>(report.ring_purges)},
+      {"ring_insertions", static_cast<double>(report.ring_insertions)},
+  };
+}
+
+StatList SummaryStats(const BaselineReport& report) {
+  return {
+      {"packets_captured", static_cast<double>(report.packets_captured)},
+      {"packets_delivered", static_cast<double>(report.packets_delivered)},
+      {"source_mbuf_drops", static_cast<double>(report.source_mbuf_drops)},
+      {"tx_relay_rcvbuf_drops", static_cast<double>(report.tx_relay_rcvbuf_drops)},
+      {"tx_ifsnd_drops", static_cast<double>(report.tx_ifsnd_drops)},
+      {"rx_ipintr_drops", static_cast<double>(report.rx_ipintr_drops)},
+      {"rx_relay_rcvbuf_drops", static_cast<double>(report.rx_relay_rcvbuf_drops)},
+      {"rx_adapter_overruns", static_cast<double>(report.rx_adapter_overruns)},
+      {"tcp_retransmits", static_cast<double>(report.tcp_retransmits)},
+      {"sink_underruns", static_cast<double>(report.sink_underruns)},
+      {"tx_cpu_utilization", report.tx_cpu_utilization},
+      {"rx_cpu_utilization", report.rx_cpu_utilization},
+      {"ring_utilization", report.ring_utilization},
+  };
+}
+
+StatList SummaryStats(const MultiStreamReport& report) {
+  uint64_t built = 0;
+  uint64_t delivered = 0;
+  uint64_t lost = 0;
+  uint64_t underruns = 0;
+  for (const StreamQuality& stream : report.streams) {
+    built += stream.built;
+    delivered += stream.delivered;
+    lost += stream.lost;
+    underruns += stream.underruns;
+  }
+  return {
+      {"streams", static_cast<double>(report.streams.size())},
+      {"packets_built", static_cast<double>(built)},
+      {"packets_delivered", static_cast<double>(delivered)},
+      {"packets_lost", static_cast<double>(lost)},
+      {"sink_underruns", static_cast<double>(underruns)},
+      {"ring_utilization", report.ring_utilization},
+  };
+}
+
+StatList SummaryStats(const ServerReport& report) {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t starvations = 0;
+  uint64_t underruns = 0;
+  for (const ServerClientQuality& client : report.clients) {
+    sent += client.sent;
+    delivered += client.delivered;
+    starvations += client.server_starvations;
+    underruns += client.underruns;
+  }
+  return {
+      {"clients", static_cast<double>(report.clients.size())},
+      {"packets_sent", static_cast<double>(sent)},
+      {"packets_delivered", static_cast<double>(delivered)},
+      {"server_starvations", static_cast<double>(starvations)},
+      {"sink_underruns", static_cast<double>(underruns)},
+      {"server_cpu_utilization", report.server_cpu_utilization},
+      {"disk_utilization", report.disk_utilization},
+      {"ring_utilization", report.ring_utilization},
+  };
+}
+
+StatList SummaryStats(const RouterReport& report) {
+  return {
+      {"packets_built", static_cast<double>(report.packets_built)},
+      {"packets_forwarded", static_cast<double>(report.packets_forwarded)},
+      {"packets_delivered", static_cast<double>(report.packets_delivered)},
+      {"packets_lost", static_cast<double>(report.packets_lost)},
+      {"router_queue_drops", static_cast<double>(report.router_queue_drops)},
+      {"sink_underruns", static_cast<double>(report.sink_underruns)},
+      {"router_cpu_utilization", report.router_cpu_utilization},
+      {"ring_a_utilization", report.ring_a_utilization},
+      {"ring_b_utilization", report.ring_b_utilization},
+  };
+}
+
+StatList SummaryStats(const FaultSweepReport& report) {
+  StatList stats;
+  for (const FaultSweepRow& row : report.rows) {
+    const std::string prefix =
+        "L" + std::to_string(row.level) + "_" + DegradationModeName(row.policy) + "_";
+    stats.emplace_back(prefix + "delivered_ratio", row.delivered_ratio);
+    stats.emplace_back(prefix + "purges", static_cast<double>(row.purges_injected));
+    stats.emplace_back(prefix + "retransmissions", static_cast<double>(row.retransmissions));
+  }
+  return stats;
+}
+
+}  // namespace ctms

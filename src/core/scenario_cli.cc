@@ -1,6 +1,217 @@
 #include "src/core/scenario_cli.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <initializer_list>
+#include <type_traits>
+#include <variant>
+
 namespace ctms {
+
+namespace {
+
+// ---------------------------------------------------------------------------------------
+// Table-driven flag surface (moved here from tools/ctms_sim.cc so the campaign grid can
+// sweep any flag). Three tables describe every axis: presence/bool flags, value flags that
+// fill a ScenarioConfig member, and post-parse validations. Adding a flag is one table row.
+
+struct BoolFlag {
+  const char* name;
+  bool ScenarioConfig::*field;
+  bool presence_value;  // what bare `--flag` (no value) sets the field to
+};
+
+constexpr BoolFlag kBoolFlags[] = {
+    {"tcp", &ScenarioConfig::tcp, true},
+    {"no-driver-priority", &ScenarioConfig::driver_priority, false},
+    {"driver-priority", &ScenarioConfig::driver_priority, true},
+    {"zero-copy", &ScenarioConfig::zero_copy, true},
+    {"retransmit", &ScenarioConfig::retransmit, true},
+    {"ground-truth", &ScenarioConfig::ground_truth_output, true},
+    {"print-metrics", &ScenarioConfig::print_metrics, true},
+    {"independent-faults", &ScenarioConfig::independent_faults, true},
+};
+
+using ValueTarget = std::variant<std::string ScenarioConfig::*, int64_t ScenarioConfig::*,
+                                 uint64_t ScenarioConfig::*, int ScenarioConfig::*>;
+
+struct ValueFlag {
+  const char* name;
+  ValueTarget target;
+  bool require_nonempty;  // reject `--flag=` when the value is mandatory
+};
+
+const ValueFlag kValueFlags[] = {
+    {"experiment", &ScenarioConfig::experiment, true},
+    {"scenario", &ScenarioConfig::scenario, true},
+    {"duration", &ScenarioConfig::duration_s, false},
+    {"seed", &ScenarioConfig::seed, false},
+    {"packet-bytes", &ScenarioConfig::packet_bytes, false},
+    {"period-ms", &ScenarioConfig::period_ms, false},
+    {"streams", &ScenarioConfig::streams, false},
+    {"clients", &ScenarioConfig::clients, false},
+    {"memory", &ScenarioConfig::memory, true},
+    {"method", &ScenarioConfig::method, true},
+    {"ring-priority", &ScenarioConfig::ring_priority, false},
+    {"insertions", &ScenarioConfig::insertion_mean_min, false},
+    {"faults", &ScenarioConfig::faults_path, true},
+    {"degradation", &ScenarioConfig::degradation, true},
+    {"retry-budget", &ScenarioConfig::retry_budget, false},
+    {"retry-backoff-ms", &ScenarioConfig::retry_backoff_ms, false},
+    {"sweep-levels", &ScenarioConfig::sweep_levels, false},
+    {"sweep-purges", &ScenarioConfig::sweep_purges, false},
+    {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, false},
+    {"jobs", &ScenarioConfig::jobs, false},
+    {"grid", &ScenarioConfig::grid_spec, true},
+    {"cell-experiment", &ScenarioConfig::cell_experiment, true},
+    {"histogram", &ScenarioConfig::histogram, false},
+    {"bin-us", &ScenarioConfig::bin_us, false},
+    {"csv-prefix", &ScenarioConfig::csv_prefix, false},
+    {"trace", &ScenarioConfig::trace_path, false},
+    {"metrics-json", &ScenarioConfig::metrics_json, true},
+    {"trace-json", &ScenarioConfig::trace_json, true},
+};
+
+void StoreValue(ScenarioConfig* options, const ValueTarget& target, const std::string& value) {
+  std::visit(
+      [&](auto member) {
+        using Field = std::remove_reference_t<decltype(options->*member)>;
+        if constexpr (std::is_same_v<Field, std::string>) {
+          options->*member = value;
+        } else {
+          options->*member = static_cast<Field>(std::atoll(value.c_str()));
+        }
+      },
+      target);
+}
+
+// A string flag restricted to an enumerated set of spellings.
+struct ChoiceCheck {
+  const char* name;
+  std::string ScenarioConfig::*field;
+  std::initializer_list<const char*> allowed;
+};
+
+const ChoiceCheck kChoiceChecks[] = {
+    {"experiment",
+     &ScenarioConfig::experiment,
+     {"ctms", "baseline", "multistream", "server", "router", "faultsweep", "campaign"}},
+    {"cell-experiment",
+     &ScenarioConfig::cell_experiment,
+     {"ctms", "baseline", "multistream", "server", "router", "faultsweep"}},
+    {"scenario", &ScenarioConfig::scenario, {"A", "B"}},
+    {"memory", &ScenarioConfig::memory, {"iocm", "system"}},
+    {"method", &ScenarioConfig::method, {"pcat", "rtpc", "logic", "truth"}},
+    {"degradation",
+     &ScenarioConfig::degradation,
+     {"drop", "drop-oldest", "block", "retransmit", "purge-retransmit"}},
+};
+
+// A numeric flag with an inclusive valid range.
+struct RangeCheck {
+  const char* name;
+  std::variant<int64_t ScenarioConfig::*, int ScenarioConfig::*> field;
+  int64_t min;
+  int64_t max;
+  const char* message;
+};
+
+const RangeCheck kRangeChecks[] = {
+    {"duration", &ScenarioConfig::duration_s, 1, INT64_MAX,
+     "--duration must be a positive number of seconds"},
+    {"packet-bytes", &ScenarioConfig::packet_bytes, 1, INT64_MAX,
+     "--packet-bytes must be positive"},
+    {"period-ms", &ScenarioConfig::period_ms, 1, INT64_MAX, "--period-ms must be positive"},
+    {"streams", &ScenarioConfig::streams, 1, 16, "--streams must be between 1 and 16"},
+    {"clients", &ScenarioConfig::clients, 1, 16, "--clients must be between 1 and 16"},
+    {"retry-budget", &ScenarioConfig::retry_budget, 0, 1000,
+     "--retry-budget must be between 0 and 1000"},
+    {"retry-backoff-ms", &ScenarioConfig::retry_backoff_ms, 0, INT64_MAX,
+     "--retry-backoff-ms must be non-negative"},
+    {"sweep-levels", &ScenarioConfig::sweep_levels, 1, 16,
+     "--sweep-levels must be between 1 and 16"},
+    {"sweep-purges", &ScenarioConfig::sweep_purges, 1, 1000,
+     "--sweep-purges must be between 1 and 1000"},
+    {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, 1, INT64_MAX,
+     "--sweep-spacing-ms must be positive"},
+    {"jobs", &ScenarioConfig::jobs, 1, 64, "--jobs must be between 1 and 64"},
+    {"histogram", &ScenarioConfig::histogram, 0, 7,
+     "--histogram must be between 1 and 7, or 0 for none"},
+};
+
+}  // namespace
+
+bool ApplyScenarioAxis(ScenarioConfig* config, const std::string& name,
+                       const std::string& value, std::string* error) {
+  for (const ValueFlag& flag : kValueFlags) {
+    if (name != flag.name) {
+      continue;
+    }
+    if (flag.require_nonempty && value.empty()) {
+      if (error != nullptr) {
+        *error = "--" + name + " requires a value";
+      }
+      return false;
+    }
+    StoreValue(config, flag.target, value);
+    return true;
+  }
+  for (const BoolFlag& flag : kBoolFlags) {
+    if (name != flag.name) {
+      continue;
+    }
+    bool parsed = false;
+    if (value == "1" || value == "true") {
+      parsed = true;
+    } else if (value != "0" && value != "false") {
+      if (error != nullptr) {
+        *error = "--" + name + " takes 0/1/true/false, got \"" + value + "\"";
+      }
+      return false;
+    }
+    // The table stores what *presence* sets the field to; value 1 means "as if the flag
+    // were present", 0 the opposite — so a "no-" spelling inverts naturally.
+    config->*flag.field = parsed ? flag.presence_value : !flag.presence_value;
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown flag --" + name;
+  }
+  return false;
+}
+
+bool ApplyScenarioPresenceFlag(ScenarioConfig* config, const std::string& name) {
+  for (const BoolFlag& flag : kBoolFlags) {
+    if (name == flag.name) {
+      config->*flag.field = flag.presence_value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ValidateScenarioConfig(const ScenarioConfig& config) {
+  for (const ChoiceCheck& check : kChoiceChecks) {
+    const std::string& value = config.*check.field;
+    if (std::none_of(check.allowed.begin(), check.allowed.end(),
+                     [&](const char* allowed) { return value == allowed; })) {
+      std::string expected;
+      for (const char* allowed : check.allowed) {
+        expected += expected.empty() ? allowed : std::string(" or ") + allowed;
+      }
+      return "unknown --" + std::string(check.name) + "=" + value + " (expected " + expected +
+             ")";
+    }
+  }
+  for (const RangeCheck& check : kRangeChecks) {
+    const int64_t value = std::visit(
+        [&](auto member) { return static_cast<int64_t>(config.*member); }, check.field);
+    if (value < check.min || value > check.max) {
+      return check.message;
+    }
+  }
+  return "";
+}
 
 MemoryKind ScenarioConfig::MemoryKindValue() const {
   return memory == "system" ? MemoryKind::kSystemMemory : MemoryKind::kIoChannelMemory;

@@ -62,6 +62,12 @@ struct ScenarioConfig {
   int64_t sweep_purges = 25;      // purges per storm
   int64_t sweep_spacing_ms = 4;   // within-storm purge spacing
 
+  // --- campaign ------------------------------------------------------------------------
+  int64_t jobs = 1;                      // worker threads (--experiment=campaign)
+  std::string grid_spec;                 // e.g. "seed=1:4;streams=1,2,4"
+  std::string cell_experiment = "ctms";  // experiment each grid point runs
+  bool independent_faults = false;       // per-run fault RNG salt (FaultPlan::set_rng_salt)
+
   // --- output --------------------------------------------------------------------------
   int histogram = 0;  // 0 = none, 1..7 = paper histogram number
   int64_t bin_us = 500;
@@ -77,6 +83,28 @@ struct ScenarioConfig {
   MeasurementMethod MethodValue() const;
   DegradationMode DegradationValue() const;
 };
+
+// --- the flag surface as data ----------------------------------------------------------
+//
+// Every `--flag=value` axis ctms_sim accepts is applied through ApplyScenarioAxis, and the
+// campaign grid reuses the same tables — an axis name in `--grid=seed=1:4;streams=1,2` is
+// exactly a ctms_sim flag name, so new flags become sweepable for free.
+
+// Sets the field registered under the flag/axis `name` (no leading "--"). Value flags take
+// the string verbatim or as a number; presence-style bool flags (tcp, zero-copy, ...) accept
+// 0/1/true/false. Returns false and fills *error for unknown names, empty mandatory values,
+// or malformed bool values.
+bool ApplyScenarioAxis(ScenarioConfig* config, const std::string& name,
+                       const std::string& value, std::string* error);
+
+// Presence form of the bool flags (`--tcp` with no value). Returns false if `name` is not a
+// registered presence flag.
+bool ApplyScenarioPresenceFlag(ScenarioConfig* config, const std::string& name);
+
+// Post-parse validation shared by the tool and the campaign grid: enumerated string
+// spellings (experiment, scenario, memory, method, degradation) and numeric ranges.
+// Returns an empty string when the config is valid, else a one-line error.
+std::string ValidateScenarioConfig(const ScenarioConfig& config);
 
 // Per-experiment converters. Each copies the fields its experiment understands and leaves
 // the rest of the experiment config at its own defaults.

@@ -74,6 +74,15 @@ class FaultPlan {
   // injector schedules in this order, and event insertion order breaks simulation ties).
   FaultPlan& Add(FaultEvent event);
 
+  // Per-run decorrelation for parameter sweeps. The injector's RNG is normally forked from
+  // the simulation RNG, so two grid points that share a seed draw the same fault jitter —
+  // correlated noise across a campaign. A non-zero salt is mixed into that fork
+  // (RingTopology::ApplyFaultPlan), giving the run an independent jitter stream while
+  // staying fully deterministic in (seed, salt). Zero (the default) changes nothing: the
+  // fork is taken exactly as before, so existing runs stay bit-identical.
+  void set_rng_salt(uint64_t salt) { rng_salt_ = salt; }
+  uint64_t rng_salt() const { return rng_salt_; }
+
   // --- builders (the spellings tests and the sweep use) -------------------------------------
   static FaultEvent PurgeStorm(SimTime at, int count, SimDuration spacing,
                                SimDuration jitter = 0);
@@ -94,6 +103,7 @@ class FaultPlan {
 
  private:
   std::vector<FaultEvent> events_;
+  uint64_t rng_salt_ = 0;
 };
 
 }  // namespace ctms

@@ -50,10 +50,14 @@ class ProbeBus {
   void set_inline_cost(SimDuration cost) { inline_cost_ = cost; }
   SimDuration inline_cost() const { return inline_cost_; }
 
+  // Index-based so a listener that Subscribes from inside its callback (instruments attach
+  // lazily on first sight of a stream) cannot invalidate the traversal; late subscribers
+  // first hear the *next* event, deterministically.
   void Emit(ProbePoint point, uint32_t seq, SimTime now) {
     const ProbeEvent event{point, seq, now};
-    for (const Listener& listener : listeners_) {
-      listener(event);
+    const size_t count = listeners_.size();
+    for (size_t i = 0; i < count; ++i) {
+      listeners_[i](event);
     }
   }
 

@@ -1,5 +1,6 @@
 #include "src/telemetry/json_export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -190,6 +191,94 @@ std::string RunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo&
 bool WriteRunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo& info,
                          const std::string& path) {
   return WriteText(RunSummaryJson(metrics, info), path);
+}
+
+namespace {
+
+void AppendStatsObject(std::ostringstream& os,
+                       const std::vector<std::pair<std::string, double>>& stats) {
+  os << "{";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    os << (i > 0 ? ", " : "") << "\"" << JsonEscape(stats[i].first)
+       << "\": " << NumberJson(stats[i].second);
+  }
+  os << "}";
+}
+
+// Nearest-rank percentile over an ascending-sorted vector; pure integer index math so the
+// pick is exactly reproducible.
+double Percentile(const std::vector<double>& sorted, size_t pct) {
+  const size_t index = ((sorted.size() - 1) * pct + 50) / 100;
+  return sorted[index];
+}
+
+}  // namespace
+
+std::string CampaignJson(const std::string& experiment, const std::string& grid,
+                         const std::vector<CampaignRunView>& runs) {
+  size_t healthy = 0;
+  for (const CampaignRunView& run : runs) {
+    healthy += run.healthy ? 1 : 0;
+  }
+  std::ostringstream os;
+  os << "{\n\"campaign\": {\"experiment\": \"" << JsonEscape(experiment) << "\", \"grid\": \""
+     << JsonEscape(grid) << "\", \"runs\": " << runs.size() << ", \"healthy\": " << healthy
+     << "},\n\"aggregate\": {";
+  // Stat names in first-seen order across the runs (submission order), values per name.
+  std::vector<std::pair<std::string, std::vector<double>>> columns;
+  for (const CampaignRunView& run : runs) {
+    for (const auto& [name, value] : run.info->stats) {
+      auto column = std::find_if(columns.begin(), columns.end(),
+                                 [&](const auto& c) { return c.first == name; });
+      if (column == columns.end()) {
+        columns.emplace_back(name, std::vector<double>{});
+        column = columns.end() - 1;
+      }
+      column->second.push_back(value);
+    }
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::vector<double> sorted = columns[c].second;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (const double value : sorted) {
+      sum += value;
+    }
+    os << (c > 0 ? "," : "") << "\n  \"" << JsonEscape(columns[c].first)
+       << "\": {\"count\": " << sorted.size() << ", \"min\": " << NumberJson(sorted.front())
+       << ", \"mean\": " << NumberJson(sum / static_cast<double>(sorted.size()))
+       << ", \"p50\": " << NumberJson(Percentile(sorted, 50))
+       << ", \"p90\": " << NumberJson(Percentile(sorted, 90))
+       << ", \"max\": " << NumberJson(sorted.back()) << "}";
+  }
+  os << "\n},\n\"runs\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const CampaignRunView& run = runs[i];
+    os << (i > 0 ? "," : "") << "\n{\"label\": \"" << JsonEscape(run.label)
+       << "\", \"healthy\": " << (run.healthy ? "true" : "false") << ",\n \"run\": {\"scenario\": \""
+       << JsonEscape(run.info->scenario) << "\", \"duration_s\": " << NumberJson(run.info->duration_s)
+       << ", \"seed\": " << run.info->seed << "},\n \"stats\": ";
+    AppendStatsObject(os, run.info->stats);
+    if (!run.info->fault.empty()) {
+      os << ",\n \"fault_report\": ";
+      AppendStatsObject(os, run.info->fault);
+    }
+    os << "}";
+  }
+  os << "\n],\n\"metrics\": ";
+  MetricsRegistry combined;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].metrics != nullptr) {
+      combined.MergeFrom(*runs[i].metrics, "run" + std::to_string(i) + ".");
+    }
+  }
+  os << MetricsJson(combined) << "\n}\n";
+  return os.str();
+}
+
+bool WriteCampaignJson(const std::string& experiment, const std::string& grid,
+                       const std::vector<CampaignRunView>& runs, const std::string& path) {
+  return WriteText(CampaignJson(experiment, grid, runs), path);
 }
 
 }  // namespace ctms

@@ -60,6 +60,29 @@ std::string RunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo&
 bool WriteRunSummaryJson(const MetricsRegistry& metrics, const RunSummaryInfo& info,
                          const std::string& path);
 
+// One campaign run as the merged-campaign exporter sees it. `metrics` may be null (a
+// faultsweep cell spans many simulations and has no single registry).
+struct CampaignRunView {
+  std::string label;
+  bool healthy = false;
+  const RunSummaryInfo* info = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+};
+
+// Renders the merged campaign document:
+//   {"campaign":{...},"aggregate":{...},"runs":[...],"metrics":{...}}
+// "aggregate" holds count/min/mean/p50/p90/max per stat name (names in first-seen order
+// across the runs); "runs" keeps every run's summary in the order given; "metrics" is one
+// combined registry with run i's metrics namespaced under "run<i>.". The output depends
+// only on the views' contents and order — the campaign runner hands them over in
+// job-submission order, which is what makes the merged report independent of worker count.
+std::string CampaignJson(const std::string& experiment, const std::string& grid,
+                         const std::vector<CampaignRunView>& runs);
+
+// Writes CampaignJson to `path`. Returns false on I/O failure.
+bool WriteCampaignJson(const std::string& experiment, const std::string& grid,
+                       const std::vector<CampaignRunView>& runs, const std::string& path);
+
 }  // namespace ctms
 
 #endif  // SRC_TELEMETRY_JSON_EXPORT_H_

@@ -12,4 +12,16 @@ size_t MetricsRegistry::CountersWithPrefix(const std::string& prefix) const {
   return n;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other, const std::string& prefix) {
+  for (const auto& [name, counter] : other.counters_) {
+    counters_[prefix + name].Increment(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    gauges_[prefix + name].Add(gauge.value());
+  }
+  for (const auto& [name, summary] : other.summaries_) {
+    summaries_[prefix + name].Merge(summary);
+  }
+}
+
 }  // namespace ctms

@@ -57,6 +57,23 @@ class Summary {
     sum_ += value;
     ++count_;
   }
+  // Folds another summary's observations into this one, as if every value had been
+  // Observe()d here. Order-independent, so merged campaign exports do not depend on which
+  // worker finished first.
+  void Merge(const Summary& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
   uint64_t count() const { return count_; }
   int64_t sum() const { return sum_; }
   int64_t min() const { return min_; }
@@ -89,6 +106,13 @@ class MetricsRegistry {
 
   // Number of counters whose name starts with `prefix` (namespace audits in tests).
   size_t CountersWithPrefix(const std::string& prefix) const;
+
+  // Folds every metric of `other` into this registry under `prefix` + name: counters add,
+  // gauges add, summaries Merge. With an empty prefix this is a plain snapshot/accumulate;
+  // with "run3." it namespaces one campaign run inside a combined registry. The registry
+  // stays name-ordered, so a merged export is deterministic whatever order the sources
+  // were produced in (merge call order still matters only if names collide).
+  void MergeFrom(const MetricsRegistry& other, const std::string& prefix = "");
 
  private:
   std::map<std::string, Counter> counters_;

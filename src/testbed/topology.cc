@@ -183,7 +183,14 @@ FaultInjector* RingTopology::ApplyFaultPlan(const FaultPlan& plan) {
     return nullptr;  // strict no-op: empty plans must not perturb the RNG or telemetry
   }
   assert(fault_injector_ == nullptr && "one fault plan per topology");
-  fault_injector_ = std::make_unique<FaultInjector>(&sim_, sim_.rng().Fork(), plan);
+  // The injector's RNG is forked exactly once, whatever the salt, so a salted and an
+  // unsalted run consume the same number of draws from the root RNG: only the injector's
+  // own jitter stream changes, never anything downstream of the root.
+  Rng fork = sim_.rng().Fork();
+  if (plan.rng_salt() != 0) {
+    fork = Rng(fork.NextU64() ^ plan.rng_salt());
+  }
+  fault_injector_ = std::make_unique<FaultInjector>(&sim_, std::move(fork), plan);
   if (!rings_.empty()) {
     fault_injector_->BindRing(rings_.front().get());
   }

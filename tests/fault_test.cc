@@ -10,6 +10,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/proto/degradation.h"
+#include "tests/report_matchers.h"
 
 namespace ctms {
 namespace {
@@ -101,13 +102,7 @@ TEST(FaultPlanTest, AddKeepsSameTimeEventsInInsertionOrder) {
 }
 
 // --- experiment integration ---------------------------------------------------------------
-
-CtmsConfig ShortScenario() {
-  CtmsConfig config = TestCaseA();
-  config.duration = Seconds(3);
-  config.seed = 7;
-  return config;
-}
+// ShortScenario() comes from tests/report_matchers.h: TestCaseA, 3 s, seed 7.
 
 TEST(FaultInjectionTest, EmptyPlanInstallsNoInjector) {
   CtmsConfig config = ShortScenario();
@@ -122,28 +117,24 @@ TEST(FaultInjectionTest, EmptyPlanInstallsNoInjector) {
 }
 
 TEST(FaultInjectionTest, SameSeedAndPlanReproducesBitIdenticalRuns) {
-  auto run_once = [](uint64_t* delivered, uint64_t* lost) {
+  auto run_once = [](std::vector<std::pair<std::string, double>>* fault_stats) {
     CtmsConfig config = ShortScenario();
     config.faults.Add(FaultPlan::PurgeStorm(Seconds(1), 10, Milliseconds(4),
                                             /*jitter=*/Microseconds(700)));
     config.faults.Add(FaultPlan::FrameCorruption(Milliseconds(1800), Milliseconds(150), 0.5));
     CtmsExperiment experiment(config);
     const ExperimentReport report = experiment.Run();
-    *delivered = report.packets_delivered;
-    *lost = report.packets_lost;
     const FaultInjector* injector = experiment.topology().fault_injector();
     EXPECT_NE(injector, nullptr);
-    return injector->report().Stats();
+    *fault_stats = injector->report().Stats();
+    return report;
   };
-  uint64_t delivered_a = 0;
-  uint64_t lost_a = 0;
-  uint64_t delivered_b = 0;
-  uint64_t lost_b = 0;
-  const auto stats_a = run_once(&delivered_a, &lost_a);
-  const auto stats_b = run_once(&delivered_b, &lost_b);
-  EXPECT_EQ(stats_a, stats_b);
-  EXPECT_EQ(delivered_a, delivered_b);
-  EXPECT_EQ(lost_a, lost_b);
+  std::vector<std::pair<std::string, double>> stats_a;
+  std::vector<std::pair<std::string, double>> stats_b;
+  const ExperimentReport a = run_once(&stats_a);
+  const ExperimentReport b = run_once(&stats_b);
+  ExpectSameStatList(stats_a, stats_b);
+  ExpectSameAccounting(a, b);
 }
 
 TEST(FaultInjectionTest, PurgeStormCausesLossAndRetransmitRecovers) {
@@ -206,6 +197,18 @@ TEST(FaultInjectionTest, CongestionBurstAndOverrunAreInjected) {
 }
 
 // --- faultsweep ---------------------------------------------------------------------------
+
+TEST(FaultSweepTest, SweepPlansInheritBaseRngSalt) {
+  FaultSweepConfig config;
+  config.base = ShortScenario();
+  config.base.faults.set_rng_salt(5);
+  config.levels = 2;
+  FaultSweepExperiment sweep(config);
+  // Campaign cells salt the base plan to decorrelate faults across runs; the generated
+  // sweep plans must carry the salt through or the decorrelation silently disappears.
+  EXPECT_EQ(sweep.PlanForLevel(0).rng_salt(), 5u);
+  EXPECT_EQ(sweep.PlanForLevel(1).rng_salt(), 5u);
+}
 
 TEST(FaultSweepTest, DegradationCurveIsMonotoneAndRetransmitWins) {
   FaultSweepConfig config;

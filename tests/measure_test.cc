@@ -116,6 +116,28 @@ TEST(ProbeBusTest, EmitFansOutToListeners) {
   EXPECT_EQ(count, 2);
 }
 
+// Regression: a listener that Subscribes from inside its callback used to grow the
+// listener vector mid-iteration, invalidating the range-for's iterators (caught while
+// auditing shared state for the campaign worker pool). The late subscriber must miss the
+// in-flight event and hear the next one.
+TEST(ProbeBusTest, SubscribeDuringEmitIsSafeAndTakesEffectNextEvent) {
+  ProbeBus bus;
+  int late_events = 0;
+  int trigger_events = 0;
+  bus.Subscribe([&](const ProbeEvent&) {
+    ++trigger_events;
+    if (trigger_events == 1) {
+      bus.Subscribe([&](const ProbeEvent&) { ++late_events; });
+    }
+  });
+  bus.Emit(ProbePoint::kPreTransmit, 1, 100);
+  EXPECT_EQ(trigger_events, 1);
+  EXPECT_EQ(late_events, 0);  // subscribed mid-emit: misses the in-flight event
+  bus.Emit(ProbePoint::kPreTransmit, 2, 200);
+  EXPECT_EQ(trigger_events, 2);
+  EXPECT_EQ(late_events, 1);
+}
+
 TEST(RecorderTest, GroundTruthRecordsExactly) {
   ProbeBus bus;
   GroundTruthRecorder recorder(&bus);

@@ -1,0 +1,70 @@
+// Shared experiment-report assertion helpers and short canonical scenarios for the test
+// suite. fault_test.cc, testbed_test.cc, and campaign_test.cc all compare same-seed runs
+// field by field; keeping the comparisons here means a new report field gets asserted
+// everywhere by adding one line.
+
+#ifndef TESTS_REPORT_MATCHERS_H_
+#define TESTS_REPORT_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/scenario.h"
+#include "src/testbed/stream.h"
+
+namespace ctms {
+
+// TestCaseA cut to three simulated seconds at a fixed seed — short enough for a unit test,
+// long enough to move a couple hundred packets.
+inline CtmsConfig ShortScenario() {
+  CtmsConfig config = TestCaseA();
+  config.duration = Seconds(3);
+  config.seed = 7;
+  return config;
+}
+
+// Asserts two same-seed ExperimentReports agree on every accounting field (histograms are
+// deliberately out of scope — compare their summaries separately when a test needs them).
+inline void ExpectSameAccounting(const ExperimentReport& a, const ExperimentReport& b) {
+  EXPECT_EQ(a.packets_built, b.packets_built);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.out_of_order, b.out_of_order);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.late_recovered, b.late_recovered);
+  EXPECT_EQ(a.sink_underruns, b.sink_underruns);
+  EXPECT_EQ(a.sink_peak_buffer, b.sink_peak_buffer);
+  EXPECT_EQ(a.ring_purges, b.ring_purges);
+  EXPECT_EQ(a.ring_insertions, b.ring_insertions);
+}
+
+// Asserts two StreamStats (testbed-level stream accounting) are identical, latencies
+// included — the bit-identity contract for same-seed runs.
+inline void ExpectSameStreamStats(const StreamStats& a, const StreamStats& b) {
+  EXPECT_EQ(a.built, b.built);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.underruns, b.underruns);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+}
+
+// Asserts two flat name->value stat lists (RunSummaryInfo::stats / FaultReport::Stats())
+// are identical in names, order, and values.
+inline void ExpectSameStatList(const std::vector<std::pair<std::string, double>>& a,
+                               const std::vector<std::pair<std::string, double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "stat " << i;
+    EXPECT_EQ(a[i].second, b[i].second) << a[i].first;
+  }
+}
+
+}  // namespace ctms
+
+#endif  // TESTS_REPORT_MATCHERS_H_

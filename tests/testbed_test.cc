@@ -5,7 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/campaign/campaign.h"
 #include "src/core/ctms.h"
+#include "tests/report_matchers.h"
 
 namespace ctms {
 namespace {
@@ -119,14 +125,47 @@ TEST(ChainTopology, TwoHopRelayChainDelivers) {
 TEST(ChainTopology, SameSeedRunsAreIdentical) {
   const ChainResult a = RunChain(/*seed=*/11, Seconds(3));
   const ChainResult b = RunChain(/*seed=*/11, Seconds(3));
-  EXPECT_EQ(a.stats.built, b.stats.built);
-  EXPECT_EQ(a.stats.delivered, b.stats.delivered);
-  EXPECT_EQ(a.stats.lost, b.stats.lost);
-  EXPECT_EQ(a.stats.underruns, b.stats.underruns);
-  EXPECT_EQ(a.stats.mean_latency, b.stats.mean_latency);
-  EXPECT_EQ(a.stats.max_latency, b.stats.max_latency);
+  ExpectSameStreamStats(a.stats, b.stats);
   EXPECT_EQ(a.forwarded_hop1, b.forwarded_hop1);
   EXPECT_EQ(a.forwarded_hop2, b.forwarded_hop2);
+}
+
+// ---------------------------------------------------------------------------------------
+// Worker isolation. The campaign runner's determinism rests on the claim that two live
+// topologies share no state at all; interleave two experiments in one thread and require
+// bit-identical accounting against solo runs. (campaign_test.cc covers the threaded case
+// under TSan.)
+
+TEST(TwoInstanceIsolation, InterleavedExperimentsMatchSoloRuns) {
+  CtmsConfig config_a = ShortScenario();
+  CtmsConfig config_b = ShortScenario();
+  config_b.seed = 8;
+  const ExperimentReport solo_a = CtmsExperiment(config_a).Run();
+  const ExperimentReport solo_b = CtmsExperiment(config_b).Run();
+
+  CtmsExperiment interleaved_a(config_a);
+  CtmsExperiment interleaved_b(config_b);
+  interleaved_a.Start();
+  interleaved_b.Start();
+  for (int slice = 0; slice < 30; ++slice) {
+    interleaved_a.sim().RunFor(Milliseconds(100));
+    interleaved_b.sim().RunFor(Milliseconds(100));
+  }
+  ExpectSameAccounting(interleaved_a.Report(), solo_a);
+  ExpectSameAccounting(interleaved_b.Report(), solo_b);
+}
+
+TEST(TwoInstanceIsolation, InterleavedRegistriesAndTracersStayIndependent) {
+  RingTopology topo_a(3);
+  RingTopology topo_b(3);
+  topo_a.AddRing();
+  topo_b.AddRing();
+  topo_a.sim().telemetry().metrics.GetCounter("test.only_in_a")->Increment();
+  topo_b.sim().RunFor(Milliseconds(5));
+  EXPECT_EQ(topo_a.sim().telemetry().metrics.CountersWithPrefix("test."), 1u);
+  EXPECT_EQ(topo_b.sim().telemetry().metrics.CountersWithPrefix("test."), 0u);
+  EXPECT_EQ(topo_a.sim().Now(), 0);
+  EXPECT_EQ(topo_b.sim().Now(), Milliseconds(5));
 }
 
 // ---------------------------------------------------------------------------------------
@@ -278,6 +317,29 @@ TEST(GoldenEquivalence, RouterZeroCopyTenSecondsSeed2) {
   ASSERT_FALSE(r.end_to_end.empty());
   EXPECT_EQ(r.end_to_end.Summary().min, 28348868);
   EXPECT_NEAR(r.end_to_end.Summary().mean, 28735800.714458, 1e-3);
+}
+
+// The merged campaign document, pinned byte for byte against a committed golden file. This
+// freezes the whole surface at once: every per-run stat, the aggregate percentiles, the
+// "run<i>." metric namespacing, and the JSON spelling itself. Regenerate with
+//   ctms_sim --experiment=campaign --grid=seed=1:3 --duration=2
+//            --metrics-json=tests/golden/campaign_seed_sweep.json  (one line)
+TEST(GoldenEquivalence, CampaignSeedSweepMatchesGoldenFile) {
+  ScenarioConfig base;
+  base.experiment = "campaign";
+  base.duration_s = 2;
+  std::string error;
+  auto grid = CampaignGrid::Parse("seed=1:3", &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  CampaignRunner runner(base, std::move(*grid), CampaignRunner::Options{});
+  ASSERT_EQ(runner.Prepare(), "");
+  const CampaignReport report = runner.Run();
+
+  std::ifstream in(std::string(CTMS_TESTS_GOLDEN_DIR) + "/campaign_seed_sweep.json");
+  ASSERT_TRUE(in.good()) << "missing golden file";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(report.MergedJson(), golden.str());
 }
 
 }  // namespace

@@ -11,25 +11,26 @@
 //   ctms_sim --experiment=router --zero-copy
 //   ctms_sim --scenario=B --faults=plan.json --degradation=retransmit
 //   ctms_sim --experiment=faultsweep --sweep-levels=4 --duration=10
+//   ctms_sim --experiment=campaign --grid=seed=1:8 --jobs=4 --duration=10
 //   ctms_sim --scenario=B --csv-prefix=/tmp/run1 --duration=300
 //
 // Prints the experiment summary, optionally an ASCII histogram, and optionally exports all
 // seven paper histograms as CSV.
 //
-// The flag tables below fill exactly one ScenarioConfig (src/core/scenario_cli.h); the
-// per-experiment config structs are built from it by the converters there, so the run
-// functions never hand-copy flag values.
+// Every flag is applied through the shared tables in src/core/scenario_cli.h, and the
+// per-experiment config structs are built from the resulting ScenarioConfig by the
+// converters there — so the campaign grid (`--grid=seed=1:4;streams=1,2`) can sweep any
+// flag this tool accepts, by the same name.
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
-#include <variant>
 
+#include "src/campaign/campaign.h"
 #include "src/core/ctms.h"
+#include "src/core/report_stats.h"
 #include "src/measure/export.h"
 #include "src/telemetry/json_export.h"
 
@@ -42,7 +43,7 @@ void PrintUsage() {
       "ctms_sim — reproduce the USENIX'91 CTMS experiments\n\n"
       "experiment selection:\n"
       "  --experiment=NAME     ctms (default), baseline, multistream, server, router,\n"
-      "                        or faultsweep\n"
+      "                        faultsweep, or campaign\n"
       "  --scenario=A|B        Test Case A (private quiet ring) or B (loaded public ring)\n"
       "  --baseline            shorthand for --experiment=baseline\n"
       "  --tcp                 baseline uses TCP-lite instead of UDP\n"
@@ -68,6 +69,14 @@ void PrintUsage() {
       "  --sweep-levels=N      faultsweep: purge-storm intensity levels (default 4)\n"
       "  --sweep-purges=N      faultsweep: purges per storm (default 25)\n"
       "  --sweep-spacing-ms=N  faultsweep: spacing between purges in a storm (default 4)\n\n"
+      "campaign (--experiment=campaign):\n"
+      "  --grid=SPEC           swept axes, e.g. seed=1:8 or seed=1:4;streams=1,2,4;\n"
+      "                        axis names are the flag names above, values are lists\n"
+      "                        (v1,v2) or inclusive integer ranges (lo:hi or lo:hi:step)\n"
+      "  --jobs=N              worker threads (default 1); the merged report is\n"
+      "                        byte-identical for every N\n"
+      "  --cell-experiment=E   experiment each grid point runs (default ctms)\n"
+      "  --independent-faults  salt each run's fault-RNG fork with its grid index\n\n"
       "measurement and output:\n"
       "  --method=pcat|rtpc|logic|truth   instrument (default pcat)\n"
       "  --histogram=1..7      render a paper histogram as ASCII\n"
@@ -75,130 +84,16 @@ void PrintUsage() {
       "  --ground-truth        render histograms from the perfect observer\n"
       "  --csv-prefix=PATH     export all seven histograms as PATH_histN.csv\n"
       "  --metrics-json=FILE   write the run summary + full metrics registry as JSON\n"
+      "                        (campaign: the merged aggregate + per-run document)\n"
       "  --trace-json=FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --print-metrics       print every telemetry counter after the run\n");
 }
 
-// ---------------------------------------------------------------------------------------
-// Table-driven flag parsing. Three tables describe every flag: presence flags that set a
-// bool, value flags that fill a ScenarioConfig member, and post-parse validations. Adding
-// a flag is one table row; the parse loop and the error paths are shared.
-
-struct BoolFlag {
-  const char* name;
-  bool ScenarioConfig::*field;
-  bool value;  // what presence of the flag sets the field to
-};
-
-constexpr BoolFlag kBoolFlags[] = {
-    {"tcp", &ScenarioConfig::tcp, true},
-    {"no-driver-priority", &ScenarioConfig::driver_priority, false},
-    {"zero-copy", &ScenarioConfig::zero_copy, true},
-    {"retransmit", &ScenarioConfig::retransmit, true},
-    {"ground-truth", &ScenarioConfig::ground_truth_output, true},
-    {"print-metrics", &ScenarioConfig::print_metrics, true},
-};
-
-using ValueTarget = std::variant<std::string ScenarioConfig::*, int64_t ScenarioConfig::*,
-                                 uint64_t ScenarioConfig::*, int ScenarioConfig::*>;
-
-struct ValueFlag {
-  const char* name;
-  ValueTarget target;
-  bool require_nonempty;  // reject `--flag=` when the value is mandatory
-};
-
-const ValueFlag kValueFlags[] = {
-    {"experiment", &ScenarioConfig::experiment, true},
-    {"scenario", &ScenarioConfig::scenario, true},
-    {"duration", &ScenarioConfig::duration_s, false},
-    {"seed", &ScenarioConfig::seed, false},
-    {"packet-bytes", &ScenarioConfig::packet_bytes, false},
-    {"period-ms", &ScenarioConfig::period_ms, false},
-    {"streams", &ScenarioConfig::streams, false},
-    {"clients", &ScenarioConfig::clients, false},
-    {"memory", &ScenarioConfig::memory, true},
-    {"method", &ScenarioConfig::method, true},
-    {"ring-priority", &ScenarioConfig::ring_priority, false},
-    {"insertions", &ScenarioConfig::insertion_mean_min, false},
-    {"faults", &ScenarioConfig::faults_path, true},
-    {"degradation", &ScenarioConfig::degradation, true},
-    {"retry-budget", &ScenarioConfig::retry_budget, false},
-    {"retry-backoff-ms", &ScenarioConfig::retry_backoff_ms, false},
-    {"sweep-levels", &ScenarioConfig::sweep_levels, false},
-    {"sweep-purges", &ScenarioConfig::sweep_purges, false},
-    {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, false},
-    {"histogram", &ScenarioConfig::histogram, false},
-    {"bin-us", &ScenarioConfig::bin_us, false},
-    {"csv-prefix", &ScenarioConfig::csv_prefix, false},
-    {"trace", &ScenarioConfig::trace_path, false},
-    {"metrics-json", &ScenarioConfig::metrics_json, true},
-    {"trace-json", &ScenarioConfig::trace_json, true},
-};
-
-void StoreValue(ScenarioConfig* options, const ValueTarget& target, const std::string& value) {
-  std::visit(
-      [&](auto member) {
-        using Field = std::remove_reference_t<decltype(options->*member)>;
-        if constexpr (std::is_same_v<Field, std::string>) {
-          options->*member = value;
-        } else {
-          options->*member = static_cast<Field>(std::atoll(value.c_str()));
-        }
-      },
-      target);
-}
-
-// A string flag restricted to an enumerated set of spellings.
-struct ChoiceCheck {
-  const char* name;
-  std::string ScenarioConfig::*field;
-  std::initializer_list<const char*> allowed;
-};
-
-const ChoiceCheck kChoiceChecks[] = {
-    {"experiment",
-     &ScenarioConfig::experiment,
-     {"ctms", "baseline", "multistream", "server", "router", "faultsweep"}},
-    {"scenario", &ScenarioConfig::scenario, {"A", "B"}},
-    {"memory", &ScenarioConfig::memory, {"iocm", "system"}},
-    {"method", &ScenarioConfig::method, {"pcat", "rtpc", "logic", "truth"}},
-    {"degradation",
-     &ScenarioConfig::degradation,
-     {"drop", "drop-oldest", "block", "retransmit", "purge-retransmit"}},
-};
-
-// A numeric flag with an inclusive valid range.
-struct RangeCheck {
-  const char* name;
-  std::variant<int64_t ScenarioConfig::*, int ScenarioConfig::*> field;
-  int64_t min;
-  int64_t max;
-  const char* message;
-};
-
-const RangeCheck kRangeChecks[] = {
-    {"duration", &ScenarioConfig::duration_s, 1, INT64_MAX,
-     "--duration must be a positive number of seconds"},
-    {"packet-bytes", &ScenarioConfig::packet_bytes, 1, INT64_MAX,
-     "--packet-bytes must be positive"},
-    {"period-ms", &ScenarioConfig::period_ms, 1, INT64_MAX, "--period-ms must be positive"},
-    {"streams", &ScenarioConfig::streams, 1, 16, "--streams must be between 1 and 16"},
-    {"clients", &ScenarioConfig::clients, 1, 16, "--clients must be between 1 and 16"},
-    {"retry-budget", &ScenarioConfig::retry_budget, 0, 1000,
-     "--retry-budget must be between 0 and 1000"},
-    {"retry-backoff-ms", &ScenarioConfig::retry_backoff_ms, 0, INT64_MAX,
-     "--retry-backoff-ms must be non-negative"},
-    {"sweep-levels", &ScenarioConfig::sweep_levels, 1, 16,
-     "--sweep-levels must be between 1 and 16"},
-    {"sweep-purges", &ScenarioConfig::sweep_purges, 1, 1000,
-     "--sweep-purges must be between 1 and 1000"},
-    {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, 1, INT64_MAX,
-     "--sweep-spacing-ms must be positive"},
-    {"histogram", &ScenarioConfig::histogram, 0, 7,
-     "--histogram must be between 1 and 7, or 0 for none"},
-};
-
+// Parses argv into one ScenarioConfig through the shared flag tables
+// (src/core/scenario_cli.h): `--name=value` goes through ApplyScenarioAxis, bare `--name`
+// through ApplyScenarioPresenceFlag, and the post-parse checks through
+// ValidateScenarioConfig — the exact code paths the campaign grid uses, so tool and grid
+// cannot drift.
 bool ParseOptions(int argc, char** argv, ScenarioConfig* options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -210,63 +105,35 @@ bool ParseOptions(int argc, char** argv, ScenarioConfig* options) {
       options->experiment = "baseline";
       continue;
     }
-    bool matched = false;
-    for (const BoolFlag& flag : kBoolFlags) {
-      if (arg == std::string("--") + flag.name) {
-        options->*flag.field = flag.value;
-        matched = true;
-        break;
-      }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg.c_str());
+      return false;
     }
-    if (matched) {
-      continue;
-    }
-    for (const ValueFlag& flag : kValueFlags) {
-      const std::string prefix = std::string("--") + flag.name + "=";
-      if (arg.rfind(prefix, 0) != 0) {
-        continue;
-      }
-      const std::string value = arg.substr(prefix.size());
-      if (flag.require_nonempty && value.empty()) {
-        std::fprintf(stderr, "--%s requires a value (try --help)\n", flag.name);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      if (!ApplyScenarioPresenceFlag(options, arg.substr(2))) {
+        std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
         return false;
       }
-      StoreValue(options, flag.target, value);
-      matched = true;
-      break;
+      continue;
     }
-    if (!matched) {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+    std::string error;
+    if (!ApplyScenarioAxis(options, arg.substr(2, eq - 2), arg.substr(eq + 1), &error)) {
+      std::fprintf(stderr, "%s (try --help)\n", error.c_str());
       return false;
     }
   }
-  for (const ChoiceCheck& check : kChoiceChecks) {
-    const std::string& value = options->*check.field;
-    if (std::none_of(check.allowed.begin(), check.allowed.end(),
-                     [&](const char* allowed) { return value == allowed; })) {
-      std::string expected;
-      for (const char* allowed : check.allowed) {
-        expected += expected.empty() ? allowed : std::string(" or ") + allowed;
-      }
-      std::fprintf(stderr, "unknown --%s=%s (expected %s; try --help)\n", check.name,
-                   value.c_str(), expected.c_str());
-      return false;
-    }
-  }
-  for (const RangeCheck& check : kRangeChecks) {
-    const int64_t value = std::visit(
-        [&](auto member) { return static_cast<int64_t>(options->*member); }, check.field);
-    if (value < check.min || value > check.max) {
-      std::fprintf(stderr, "%s (try --help)\n", check.message);
-      return false;
-    }
+  const std::string error = ValidateScenarioConfig(*options);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s (try --help)\n", error.c_str());
+    return false;
   }
   if (!options->faults_path.empty()) {
-    std::string error;
-    auto plan = FaultPlan::LoadFile(options->faults_path, &error);
+    std::string load_error;
+    auto plan = FaultPlan::LoadFile(options->faults_path, &load_error);
     if (!plan.has_value()) {
       std::fprintf(stderr, "bad fault plan %s: %s (try --help)\n",
-                   options->faults_path.c_str(), error.c_str());
+                   options->faults_path.c_str(), load_error.c_str());
       return false;
     }
     options->faults = std::move(*plan);
@@ -354,6 +221,7 @@ int RunBaseline(const ScenarioConfig& options) {
     std::printf("wrote %s_latency.csv\n", options.csv_prefix.c_str());
   }
   RunSummaryInfo info = MakeInfo(options, options.tcp ? "baseline-tcp" : "baseline-udp");
+  info.stats = SummaryStats(report);
   AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
@@ -369,24 +237,7 @@ int RunMultiStream(const ScenarioConfig& options) {
   const MultiStreamReport report = experiment.Run();
   std::cout << report.Summary();
   RunSummaryInfo info = MakeInfo(options, "multistream");
-  uint64_t built = 0;
-  uint64_t delivered = 0;
-  uint64_t lost = 0;
-  uint64_t underruns = 0;
-  for (const StreamQuality& stream : report.streams) {
-    built += stream.built;
-    delivered += stream.delivered;
-    lost += stream.lost;
-    underruns += stream.underruns;
-  }
-  info.stats = {
-      {"streams", static_cast<double>(report.streams.size())},
-      {"packets_built", static_cast<double>(built)},
-      {"packets_delivered", static_cast<double>(delivered)},
-      {"packets_lost", static_cast<double>(lost)},
-      {"sink_underruns", static_cast<double>(underruns)},
-      {"ring_utilization", report.ring_utilization},
-  };
+  info.stats = SummaryStats(report);
   AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
@@ -402,26 +253,7 @@ int RunServer(const ScenarioConfig& options) {
   const ServerReport report = experiment.Run();
   std::cout << report.Summary();
   RunSummaryInfo info = MakeInfo(options, "server");
-  uint64_t sent = 0;
-  uint64_t delivered = 0;
-  uint64_t starvations = 0;
-  uint64_t underruns = 0;
-  for (const ServerClientQuality& client : report.clients) {
-    sent += client.sent;
-    delivered += client.delivered;
-    starvations += client.server_starvations;
-    underruns += client.underruns;
-  }
-  info.stats = {
-      {"clients", static_cast<double>(report.clients.size())},
-      {"packets_sent", static_cast<double>(sent)},
-      {"packets_delivered", static_cast<double>(delivered)},
-      {"server_starvations", static_cast<double>(starvations)},
-      {"sink_underruns", static_cast<double>(underruns)},
-      {"server_cpu_utilization", report.server_cpu_utilization},
-      {"disk_utilization", report.disk_utilization},
-      {"ring_utilization", report.ring_utilization},
-  };
+  info.stats = SummaryStats(report);
   AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
@@ -438,17 +270,7 @@ int RunRouter(const ScenarioConfig& options) {
   std::cout << report.Summary();
   RunSummaryInfo info =
       MakeInfo(options, options.zero_copy ? "router-zero-copy" : "router-mbuf");
-  info.stats = {
-      {"packets_built", static_cast<double>(report.packets_built)},
-      {"packets_forwarded", static_cast<double>(report.packets_forwarded)},
-      {"packets_delivered", static_cast<double>(report.packets_delivered)},
-      {"packets_lost", static_cast<double>(report.packets_lost)},
-      {"router_queue_drops", static_cast<double>(report.router_queue_drops)},
-      {"sink_underruns", static_cast<double>(report.sink_underruns)},
-      {"router_cpu_utilization", report.router_cpu_utilization},
-      {"ring_a_utilization", report.ring_a_utilization},
-      {"ring_b_utilization", report.ring_b_utilization},
-  };
+  info.stats = SummaryStats(report);
   AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
@@ -464,14 +286,7 @@ int RunFaultSweep(const ScenarioConfig& options) {
     // The sweep runs many independent simulations, so there is no single registry to dump;
     // emit the degradation curve itself as the stats block instead.
     RunSummaryInfo info = MakeInfo(options, "faultsweep");
-    for (const FaultSweepRow& row : report.rows) {
-      const std::string prefix =
-          "L" + std::to_string(row.level) + "_" + DegradationModeName(row.policy) + "_";
-      info.stats.emplace_back(prefix + "delivered_ratio", row.delivered_ratio);
-      info.stats.emplace_back(prefix + "purges", static_cast<double>(row.purges_injected));
-      info.stats.emplace_back(prefix + "retransmissions",
-                              static_cast<double>(row.retransmissions));
-    }
+    info.stats = SummaryStats(report);
     MetricsRegistry empty;
     if (WriteRunSummaryJson(empty, info, options.metrics_json)) {
       std::printf("wrote %s\n", options.metrics_json.c_str());
@@ -485,6 +300,35 @@ int RunFaultSweep(const ScenarioConfig& options) {
     healthy = healthy && report.MonotoneNonIncreasing(policy);
   }
   return healthy ? 0 : 2;
+}
+
+int RunCampaign(const ScenarioConfig& options) {
+  std::string error;
+  auto grid = CampaignGrid::Parse(options.grid_spec, &error);
+  if (!grid.has_value()) {
+    std::fprintf(stderr, "bad --grid: %s (try --help)\n", error.c_str());
+    return 1;
+  }
+  CampaignRunner::Options runner_options;
+  runner_options.jobs = options.jobs;
+  runner_options.independent_faults = options.independent_faults;
+  CampaignRunner runner(options, std::move(*grid), std::move(runner_options));
+  error = runner.Prepare();
+  if (!error.empty()) {
+    std::fprintf(stderr, "bad campaign: %s (try --help)\n", error.c_str());
+    return 1;
+  }
+  const CampaignReport report = runner.Run();
+  std::cout << report.Summary();
+  if (!options.metrics_json.empty()) {
+    if (report.WriteMergedJson(options.metrics_json)) {
+      std::printf("wrote %s\n", options.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_json.c_str());
+      return 1;
+    }
+  }
+  return report.AllHealthy() ? 0 : 2;
 }
 
 int RunCtms(const ScenarioConfig& options) {
@@ -530,21 +374,7 @@ int RunCtms(const ScenarioConfig& options) {
     std::printf("wrote %d CSV files with prefix %s\n", written, options.csv_prefix.c_str());
   }
   RunSummaryInfo info = MakeInfo(options, config.name);
-  info.stats = {
-      {"packets_built", static_cast<double>(report.packets_built)},
-      {"packets_delivered", static_cast<double>(report.packets_delivered)},
-      {"packets_lost", static_cast<double>(report.packets_lost)},
-      {"duplicates", static_cast<double>(report.duplicates)},
-      {"out_of_order", static_cast<double>(report.out_of_order)},
-      {"retransmissions", static_cast<double>(report.retransmissions)},
-      {"sink_underruns", static_cast<double>(report.sink_underruns)},
-      {"sink_peak_buffer_bytes", static_cast<double>(report.sink_peak_buffer)},
-      {"tx_cpu_utilization", report.tx_cpu_utilization},
-      {"rx_cpu_utilization", report.rx_cpu_utilization},
-      {"ring_utilization", report.ring_utilization},
-      {"ring_purges", static_cast<double>(report.ring_purges)},
-      {"ring_insertions", static_cast<double>(report.ring_insertions)},
-  };
+  info.stats = SummaryStats(report);
   AttachFaultReport(&info, experiment.topology());
   if (!EmitTelemetry(options, experiment.sim(), info)) {
     return 1;
@@ -580,6 +410,9 @@ int main(int argc, char** argv) {
   }
   if (options.experiment == "faultsweep") {
     return RunFaultSweep(options);
+  }
+  if (options.experiment == "campaign") {
+    return RunCampaign(options);
   }
   return RunCtms(options);
 }
