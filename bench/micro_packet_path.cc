@@ -1,0 +1,205 @@
+// Self-measurement of the packet-journey recorder: what does --journeys cost?
+//
+// Two levels, because the recorder has two prices:
+//
+//   micro      — a synthetic packet lifecycle (Begin, eight Stamps, Complete) driven
+//                straight at a JourneyRecorder, in three variants: `bare` (the loop with no
+//                recorder calls at all — the compiled-out floor), `disabled` (recorder
+//                present but --journeys off: every hook is an early-return branch, the price
+//                every packet always pays), and `enabled` (full recording: active map,
+//                per-stage fold, flight ring).
+//   experiment — the real thing: CtmsExperiment test-case B run twice from the same seed,
+//                journeys off then on, wall-clock compared. This is the number the overhead
+//                budget gates on, since it includes the cache and branch effects the micro
+//                loop can't see.
+//
+// The budget: the journeys-on run may cost at most 15% more wall-clock than the same-seed
+// journeys-off run (best-of-N to damp shared-runner noise). Exceeding it makes this binary
+// exit nonzero, which fails the check.sh bench stage — the recorder is not allowed to grow
+// expensive silently.
+//
+// Emits the human table plus one JSON line per headline number; --json=PATH additionally
+// writes the JSON lines to PATH (CI saves it as BENCH_packet_path.json). --smoke shrinks
+// the counts so the run stays a few seconds on a shared runner.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/experiment.h"
+#include "src/core/scenario_cli.h"
+#include "src/telemetry/journey.h"
+#include "src/telemetry/telemetry.h"
+
+namespace ctms {
+namespace {
+
+// Wall-clock overhead budget for --journeys on a real experiment run. Documented in
+// ARCHITECTURE.md ("Observability"); change both together.
+constexpr double kOverheadBudgetPct = 15.0;
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point stop) {
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+// The stage sequence a delivered CTMSP packet walks, as the hooks fire in the stack.
+constexpr JourneyStage kPath[] = {
+    JourneyStage::kMbufAlloc,   JourneyStage::kIfqEnqueue, JourneyStage::kIfqDequeue,
+    JourneyStage::kDriverTxStart, JourneyStage::kAdapterDma, JourneyStage::kRingTransit,
+    JourneyStage::kRxInterrupt, JourneyStage::kRxClassify,
+};
+
+// One synthetic packet lifecycle per iteration against `recorder` (enabled or not).
+// Returns ns per lifecycle.
+double RunRecorderLoop(JourneyRecorder& recorder, uint64_t iterations) {
+  uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    SimTime now = static_cast<SimTime>(i) * 12'000'000;
+    const uint64_t id = recorder.Begin(static_cast<uint32_t>(i), now);
+    for (const JourneyStage stage : kPath) {
+      now += 500'000;  // 500 us per stage, a plausible CTMS hop
+      recorder.Stamp(id, stage, now);
+    }
+    recorder.Complete(id, now + 500'000);
+    sink += id;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (sink == iterations) {
+    std::fputs("impossible\n", stderr);  // keep the side effect observable
+  }
+  return Seconds(start, stop) * 1e9 / static_cast<double>(iterations);
+}
+
+// The same loop with the recorder calls removed — the compiled-out floor.
+double RunBareLoop(uint64_t iterations) {
+  uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    SimTime now = static_cast<SimTime>(i) * 12'000'000;
+    for (size_t s = 0; s < sizeof(kPath) / sizeof(kPath[0]); ++s) {
+      now += 500'000;
+      sink += static_cast<uint64_t>(now) & 1;
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  if (sink == iterations) {
+    std::fputs("impossible\n", stderr);
+  }
+  return Seconds(start, stop) * 1e9 / static_cast<double>(iterations);
+}
+
+// One test-case-B run; returns wall-clock seconds. The report numbers must not depend on
+// `journeys` — GoldenEquivalence.JourneysOnOffReportsIdentical pins that; here we only
+// time it.
+double RunExperimentOnce(int64_t duration_s, bool journeys) {
+  ScenarioConfig cli;
+  cli.scenario = "B";
+  cli.duration_s = duration_s;
+  cli.seed = 3;
+  cli.journeys = journeys;
+  CtmsConfig config = CtmsConfigFrom(cli);
+  const auto start = std::chrono::steady_clock::now();
+  CtmsExperiment experiment(config);
+  const ExperimentReport report = experiment.Run();
+  const auto stop = std::chrono::steady_clock::now();
+  if (report.packets_built == 0) {
+    std::fputs("experiment produced no packets\n", stderr);
+  }
+  return Seconds(start, stop);
+}
+
+// Best-of-N wall clock: the minimum is the least noisy estimator on a shared runner.
+double BestOf(int reps, int64_t duration_s, bool journeys) {
+  double best = RunExperimentOnce(duration_s, journeys);
+  for (int i = 1; i < reps; ++i) {
+    best = std::min(best, RunExperimentOnce(duration_s, journeys));
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace ctms
+
+int main(int argc, char** argv) {
+  using namespace ctms;
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  const uint64_t loop_n = smoke ? 200'000 : 2'000'000;
+  const int64_t sim_seconds = smoke ? 2 : 5;
+  const int reps = smoke ? 2 : 3;
+
+  PrintHeader("micro_packet_path — journey recorder self-measurement (overhead gate)");
+
+  // Micro level: ns per packet lifecycle through the hooks.
+  const double bare_ns = RunBareLoop(loop_n);
+  Telemetry off_telemetry;  // recorder bound but never enabled: the always-on price
+  const double disabled_ns = RunRecorderLoop(off_telemetry.journeys, loop_n);
+  Telemetry on_telemetry;
+  on_telemetry.journeys.Enable();
+  const double enabled_ns = RunRecorderLoop(on_telemetry.journeys, loop_n);
+  std::printf("  %-26s %10.1f ns/packet   (loop without recorder calls)\n", "bare",
+              bare_ns);
+  std::printf("  %-26s %10.1f ns/packet   (--journeys off: early-return hooks)\n",
+              "recorder disabled", disabled_ns);
+  std::printf("  %-26s %10.1f ns/journey  (--journeys on: full recording)\n",
+              "recorder enabled", enabled_ns);
+
+  // Experiment level: same-seed test-case B wall clock, off vs on.
+  const double off_s = BestOf(reps, sim_seconds, /*journeys=*/false);
+  const double on_s = BestOf(reps, sim_seconds, /*journeys=*/true);
+  const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+  std::printf("  %-26s %10.1f ms          (test-case B, %llds sim, best of %d)\n",
+              "experiment journeys off", off_s * 1e3,
+              static_cast<long long>(sim_seconds), reps);
+  std::printf("  %-26s %10.1f ms\n", "experiment journeys on", on_s * 1e3);
+  std::printf("  %-26s %10.1f %%           (budget %.0f%%)\n", "wall-clock overhead",
+              overhead_pct, kOverheadBudgetPct);
+
+  std::string json;
+  char line[1024];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"packet_path\",\"metric\":\"bare_ns_per_packet\",\"value\":%.1f}\n"
+      "{\"bench\":\"packet_path\",\"metric\":\"disabled_ns_per_packet\",\"value\":%.1f}\n"
+      "{\"bench\":\"packet_path\",\"metric\":\"enabled_ns_per_journey\",\"value\":%.1f}\n"
+      "{\"bench\":\"packet_path\",\"metric\":\"experiment_off_ms\",\"value\":%.2f}\n"
+      "{\"bench\":\"packet_path\",\"metric\":\"experiment_on_ms\",\"value\":%.2f}\n"
+      "{\"bench\":\"packet_path\",\"metric\":\"overhead_pct\",\"value\":%.2f}\n"
+      "{\"bench\":\"packet_path\",\"metric\":\"overhead_budget_pct\",\"value\":%.1f}\n",
+      bare_ns, disabled_ns, enabled_ns, off_s * 1e3, on_s * 1e3, overhead_pct,
+      kOverheadBudgetPct);
+  json = line;
+  std::fputs(json.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  if (overhead_pct > kOverheadBudgetPct) {
+    std::fprintf(stderr,
+                 "FAIL: --journeys wall-clock overhead %.2f%% exceeds the %.0f%% budget\n",
+                 overhead_pct, kOverheadBudgetPct);
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,11 @@ echo "=== bench smoke: event core before/after ==="
 ./build/bench/micro_event_queue --smoke --json=BENCH_event_queue.json
 echo "wrote BENCH_event_queue.json"
 
+echo "=== bench smoke: journey recorder overhead gate ==="
+# Exits nonzero when --journeys costs more wall-clock than its documented budget.
+./build/bench/micro_packet_path --smoke --json=BENCH_packet_path.json
+echo "wrote BENCH_packet_path.json"
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "=== tier 1 clean (sanitizers skipped) ==="
   exit 0

@@ -127,6 +127,7 @@ std::string CampaignRunner::Prepare() {
     cell.csv_prefix.clear();
     cell.metrics_json.clear();
     cell.trace_json.clear();
+    cell.journey_json.clear();
     cell.print_metrics = false;
     for (const auto& [name, value] : points[i].assignments) {
       // The campaign's own shape is not sweepable from inside itself.

@@ -30,6 +30,8 @@ constexpr BoolFlag kBoolFlags[] = {
     {"ground-truth", &ScenarioConfig::ground_truth_output, true},
     {"print-metrics", &ScenarioConfig::print_metrics, true},
     {"independent-faults", &ScenarioConfig::independent_faults, true},
+    {"journeys", &ScenarioConfig::journeys, true},
+    {"stage-histograms", &ScenarioConfig::stage_histograms, true},
 };
 
 using ValueTarget = std::variant<std::string ScenarioConfig::*, int64_t ScenarioConfig::*,
@@ -70,6 +72,8 @@ const ValueFlag kValueFlags[] = {
     {"trace", &ScenarioConfig::trace_path, false},
     {"metrics-json", &ScenarioConfig::metrics_json, true},
     {"trace-json", &ScenarioConfig::trace_json, true},
+    {"flight-recorder", &ScenarioConfig::flight_recorder, false},
+    {"journey-json", &ScenarioConfig::journey_json, true},
 };
 
 void StoreValue(ScenarioConfig* options, const ValueTarget& target, const std::string& value) {
@@ -137,6 +141,8 @@ const RangeCheck kRangeChecks[] = {
     {"jobs", &ScenarioConfig::jobs, 1, 64, "--jobs must be between 1 and 64"},
     {"histogram", &ScenarioConfig::histogram, 0, 7,
      "--histogram must be between 1 and 7, or 0 for none"},
+    {"flight-recorder", &ScenarioConfig::flight_recorder, 1, 1'000'000,
+     "--flight-recorder must be between 1 and 1000000"},
 };
 
 }  // namespace
@@ -251,6 +257,9 @@ CtmsConfig CtmsConfigFrom(const ScenarioConfig& cli) {
   config.retry_budget = cli.retry_budget;
   config.retry_backoff = Milliseconds(cli.retry_backoff_ms);
   config.faults = cli.faults;
+  config.journeys = cli.journeys;
+  config.flight_recorder = cli.flight_recorder;
+  config.stage_histograms = cli.stage_histograms;
   return config;
 }
 

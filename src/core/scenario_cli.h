@@ -68,6 +68,12 @@ struct ScenarioConfig {
   std::string cell_experiment = "ctms";  // experiment each grid point runs
   bool independent_faults = false;       // per-run fault RNG salt (FaultPlan::set_rng_salt)
 
+  // --- observability -------------------------------------------------------------------
+  bool journeys = false;           // --journeys: packet-lifecycle recording
+  int64_t flight_recorder = 64;    // --flight-recorder=N: post-mortem ring depth
+  std::string journey_json;        // --journey-json=PATH: flight-recorder dump target
+  bool stage_histograms = false;   // --stage-histograms: per-stage log2 histograms
+
   // --- output --------------------------------------------------------------------------
   int histogram = 0;  // 0 = none, 1..7 = paper histogram number
   int64_t bin_us = 500;

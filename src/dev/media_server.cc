@@ -94,18 +94,25 @@ void MediaServerSource::OnTick() {
                                              MemoryKind::kSystemMemory, Spl::kImp));
   job.steps.push_back(Cpu::Step{
       0,
-      [this, seq]() {
+      [this, seq, tick_at = kernel_->sim()->Now()]() {
+        // Journey birth for the server path: anchored to the send-timer tick, the server's
+        // equivalent of the VCA interrupt edge.
+        JourneyRecorder& journeys = kernel_->sim()->telemetry().journeys;
+        const uint64_t journey = journeys.Begin(seq, tick_at);
         std::optional<MbufChain> chain = kernel_->mbufs().Allocate(config_.packet_bytes);
         if (!chain.has_value()) {
           ++mbuf_drops_;
           mbuf_drops_counter_->Increment();
+          journeys.Abort(journey, JourneyAnomaly::kDrop, kernel_->sim()->Now());
           return;
         }
+        journeys.Stamp(journey, JourneyStage::kMbufAlloc, kernel_->sim()->Now());
         Packet packet;
         packet.protocol = ProtocolId::kCtmsp;
         packet.bytes = config_.packet_bytes;
         packet.seq = seq;
         packet.dst = dst_;
+        packet.journey = journey;
         packet.created_at = kernel_->sim()->Now();
         packet.mbuf_segments = chain->segments();
         packet.chain = std::make_shared<MbufChain>(std::move(*chain));

@@ -29,7 +29,9 @@ TokenRingDriver::TokenRingDriver(UnixKernel* kernel, TokenRingAdapter* adapter, 
   for (IfQueue* q : {&ctmsp_q_, &snd_q_, &ipintr_q_}) {
     q->BindTelemetry(telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".enqueues"),
                      telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".drops"),
-                     telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".requeues"));
+                     telemetry.metrics.GetCounter(ifq_prefix + q->name() + ".requeues"),
+                     telemetry.metrics.GetGauge(ifq_prefix + q->name() + ".depth"));
+    q->BindJourneys(&telemetry.journeys, kernel_->sim());
   }
 }
 
@@ -61,6 +63,10 @@ void TokenRingDriver::RetransmitCtmsp(uint32_t seq, int64_t bytes) {
   packet.created_at = kernel_->sim()->Now();
   ++retransmit_requests_;
   retransmits_counter_->Increment();
+  // The retry is a fresh packet (the original journey ended when its frame was lost); the
+  // anomaly is still worth a flight-recorder dump — it marks where recovery kicked in.
+  kernel_->sim()->telemetry().journeys.NoteAnomaly(JourneyAnomaly::kRetransmit,
+                                                   kernel_->sim()->Now());
   if (config_.ctms_mode && config_.driver_priority) {
     ctmsp_q_.Requeue(packet);
   } else {
@@ -146,6 +152,9 @@ void TokenRingDriver::TransmitPacket(Packet packet, bool is_ctmsp) {
   job.steps.push_back(Cpu::Step{
       config_.tx_command_cost,
       [this, packet, is_ctmsp, priority]() {
+        kernel_->sim()->telemetry().journeys.Stamp(packet.journey,
+                                                   JourneyStage::kDriverTxStart,
+                                                   kernel_->sim()->Now());
         Frame frame;
         frame.kind = FrameKind::kLlc;
         frame.dst = packet.dst;
@@ -157,6 +166,7 @@ void TokenRingDriver::TransmitPacket(Packet packet, bool is_ctmsp) {
         frame.port = packet.port;
         frame.is_ack = packet.is_ack;
         frame.ack_seq = packet.ack_seq;
+        frame.journey = packet.journey;
         frame.created_at = packet.created_at;
         inflight_is_ctmsp_ = is_ctmsp;
         inflight_seq_ = packet.seq;
@@ -212,7 +222,11 @@ void TokenRingDriver::OnRxDmaComplete(const Frame& frame) {
   packet.port = frame.port;
   packet.is_ack = frame.is_ack;
   packet.ack_seq = frame.ack_seq;
+  packet.journey = frame.journey;
   packet.created_at = frame.created_at;
+  // Receive-side DMA just finished; this call is the rx interrupt being raised.
+  kernel_->sim()->telemetry().journeys.Stamp(packet.journey, JourneyStage::kRxInterrupt,
+                                             kernel_->sim()->Now());
 
   const MemoryKind buffer_kind = adapter_->config().dma_buffer_kind;
   Cpu::Job job;
@@ -227,6 +241,9 @@ void TokenRingDriver::OnRxDmaComplete(const Frame& frame) {
                                   [this, packet]() {
                                     ++rx_ctmsp_;
                                     rx_ctmsp_counter_->Increment();
+                                    kernel_->sim()->telemetry().journeys.Stamp(
+                                        packet.journey, JourneyStage::kRxClassify,
+                                        kernel_->sim()->Now());
                                     SpanTracer& tracer = kernel_->sim()->telemetry().tracer;
                                     if (tracer.enabled()) {
                                       tracer.AddInstant(

@@ -155,18 +155,24 @@ void VcaSourceDriver::OnIrq() {
     job.steps.push_back(Cpu::Step{
         0,
         [this, seq, now, wire_bytes]() {
+          // Journey birth: the id is anchored to the IRQ edge, the stage it measures from.
+          JourneyRecorder& journeys = kernel_->sim()->telemetry().journeys;
+          const uint64_t journey = journeys.Begin(seq, now);
           std::optional<MbufChain> chain = kernel_->mbufs().Allocate(wire_bytes);
           if (!chain.has_value()) {
             ++mbuf_drops_;  // M_DONTWAIT semantics: interrupt context cannot sleep
             mbuf_drops_counter_->Increment();
+            journeys.Abort(journey, JourneyAnomaly::kDrop, kernel_->sim()->Now());
             return;
           }
+          journeys.Stamp(journey, JourneyStage::kMbufAlloc, kernel_->sim()->Now());
           Packet packet;
           packet.protocol = ProtocolId::kCtmsp;
           packet.bytes = wire_bytes;
           packet.seq = seq;
           packet.dst = dst_;
           packet.created_at = now;
+          packet.journey = journey;
           packet.mbuf_segments = chain->segments();
           packet.chain = std::make_shared<MbufChain>(std::move(*chain));
           ++packets_built_;
@@ -229,6 +235,8 @@ void VcaSinkDriver::OnCtmspDeliver(const Packet& packet, bool in_dma_buffer,
     // CTMSP sequence bookkeeping: duplicate suppression and loss accounting.
     const CtmspReceiver::Verdict verdict = connection_->OnPacket(packet.seq);
     if (verdict != CtmspReceiver::Verdict::kDeliver) {
+      kernel_->sim()->telemetry().journeys.Abort(packet.journey, JourneyAnomaly::kReorderEvict,
+                                                 kernel_->sim()->Now());
       release();
       return;
     }
@@ -249,9 +257,11 @@ void VcaSinkDriver::OnCtmspDeliver(const Packet& packet, bool in_dma_buffer,
   }
   job.steps.push_back(Cpu::Step{0,
                                 [this, bytes = packet.bytes, created_at = packet.created_at,
-                                 release]() {
+                                 journey = packet.journey, release]() {
                                   release();
                                   latency_.Add(kernel_->sim()->Now() - created_at);
+                                  kernel_->sim()->telemetry().journeys.Complete(
+                                      journey, kernel_->sim()->Now());
                                   EnqueuePlayout(bytes);
                                 },
                                 Spl::kImp});

@@ -1,12 +1,23 @@
 #include "src/kern/ifqueue.h"
 
+#include "src/sim/simulation.h"
+
 namespace ctms {
+
+void IfQueue::UpdateDepthGauge() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+  }
+}
 
 bool IfQueue::Enqueue(const Packet& packet) {
   if (static_cast<int>(queue_.size()) >= maxlen_) {
     ++drops_;
     if (drops_counter_ != nullptr) {
       drops_counter_->Increment();
+    }
+    if (journeys_ != nullptr && sim_ != nullptr) {
+      journeys_->Abort(packet.journey, JourneyAnomaly::kDrop, sim_->Now());
     }
     return false;
   }
@@ -15,9 +26,13 @@ bool IfQueue::Enqueue(const Packet& packet) {
   if (enqueues_counter_ != nullptr) {
     enqueues_counter_->Increment();
   }
+  if (journeys_ != nullptr && sim_ != nullptr) {
+    journeys_->Stamp(packet.journey, JourneyStage::kIfqEnqueue, sim_->Now());
+  }
   if (queue_.size() > peak_depth_) {
     peak_depth_ = queue_.size();
   }
+  UpdateDepthGauge();
   return true;
 }
 
@@ -27,6 +42,10 @@ std::optional<Packet> IfQueue::Dequeue() {
   }
   Packet packet = queue_.front();
   queue_.pop_front();
+  if (journeys_ != nullptr && sim_ != nullptr) {
+    journeys_->Stamp(packet.journey, JourneyStage::kIfqDequeue, sim_->Now());
+  }
+  UpdateDepthGauge();
   return packet;
 }
 
@@ -35,6 +54,9 @@ bool IfQueue::Requeue(const Packet& packet) {
     ++drops_;
     if (drops_counter_ != nullptr) {
       drops_counter_->Increment();
+    }
+    if (journeys_ != nullptr && sim_ != nullptr) {
+      journeys_->Abort(packet.journey, JourneyAnomaly::kDrop, sim_->Now());
     }
     return false;
   }
@@ -46,6 +68,7 @@ bool IfQueue::Requeue(const Packet& packet) {
   if (queue_.size() > peak_depth_) {
     peak_depth_ = queue_.size();
   }
+  UpdateDepthGauge();
   return true;
 }
 

@@ -13,9 +13,12 @@
 #include <string>
 
 #include "src/kern/packet.h"
+#include "src/telemetry/journey.h"
 #include "src/telemetry/metrics.h"
 
 namespace ctms {
+
+class Simulation;
 
 inline constexpr int kIfqMaxlenDefault = 50;
 
@@ -44,13 +47,25 @@ class IfQueue {
 
   // IfQueue has no Simulation*; the owning driver wires registry slots in after
   // construction (kern.<machine>.ifq.<queue>.{enqueues,drops,requeues}). Any may be null.
-  void BindTelemetry(Counter* enqueues, Counter* drops, Counter* requeues = nullptr) {
+  // The depth gauge tracks live occupancy; its high-watermark is exported as `.depth.peak`.
+  void BindTelemetry(Counter* enqueues, Counter* drops, Counter* requeues = nullptr,
+                     Gauge* depth = nullptr) {
     enqueues_counter_ = enqueues;
     drops_counter_ = drops;
     requeues_counter_ = requeues;
+    depth_gauge_ = depth;
+  }
+
+  // Wires the packet-lifecycle recorder (and the clock it stamps from) so enqueue/dequeue
+  // boundaries and overflow drops land in each packet's journey. Both may be null.
+  void BindJourneys(JourneyRecorder* journeys, const Simulation* sim) {
+    journeys_ = journeys;
+    sim_ = sim;
   }
 
  private:
+  void UpdateDepthGauge();
+
   std::string name_;
   int maxlen_;
   std::deque<Packet> queue_;
@@ -61,6 +76,9 @@ class IfQueue {
   Counter* enqueues_counter_ = nullptr;
   Counter* drops_counter_ = nullptr;
   Counter* requeues_counter_ = nullptr;
+  Gauge* depth_gauge_ = nullptr;
+  JourneyRecorder* journeys_ = nullptr;
+  const Simulation* sim_ = nullptr;
 };
 
 }  // namespace ctms

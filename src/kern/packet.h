@@ -28,6 +28,7 @@ struct Packet {
   uint16_t port = 0;        // UDP/TCP demux key
   bool is_ack = false;      // TCP-lite acknowledgment
   uint32_t ack_seq = 0;     // cumulative ack number when is_ack
+  uint64_t journey = 0;     // lifecycle-tracker id assigned at birth; 0 = untracked
   // The kernel buffers holding the payload; shared so a Packet descriptor can be copied
   // between queues while the chain frees exactly once, when the last holder lets go (the
   // driver drops its reference after copying into the fixed DMA buffer).

@@ -18,6 +18,7 @@ TokenRingAdapter::TokenRingAdapter(Machine* machine, TokenRing* ring, Config con
   frames_received_counter_ = metrics.GetCounter(prefix + "frames_received");
   rx_overruns_counter_ = metrics.GetCounter(prefix + "rx_overruns");
   mac_frames_seen_counter_ = metrics.GetCounter(prefix + "mac_frames_seen");
+  onboard_rx_depth_gauge_ = metrics.GetGauge(prefix + "onboard_rx.depth");
 }
 
 bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(TxStatus)> on_complete) {
@@ -29,8 +30,11 @@ bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(TxStatus)> 
     // Card firmware is wedged (fault injection): the transmit command is accepted but the
     // frame never reaches the wire; the transmit-complete interrupt reports the failure.
     ++tx_stall_rejects_;
-    machine_->sim()->After(0, [this, on_complete = std::move(on_complete)]() {
+    machine_->sim()->After(0, [this, journey = frame.journey,
+                               on_complete = std::move(on_complete)]() {
       tx_busy_ = false;
+      machine_->sim()->telemetry().journeys.Abort(journey, JourneyAnomaly::kDrop,
+                                                  machine_->sim()->Now());
       if (on_complete) {
         on_complete(TxStatus::kAdapterStalled);
       }
@@ -43,6 +47,8 @@ bool TokenRingAdapter::IssueTransmit(Frame frame, std::function<void(TxStatus)> 
   // hardware-interrupt time via on_complete.
   tx_dma_.Transfer(frame.payload_bytes, config_.dma_buffer_kind,
                    [this, frame = std::move(frame), on_complete = std::move(on_complete)]() mutable {
+                     machine_->sim()->telemetry().journeys.Stamp(
+                         frame.journey, JourneyStage::kAdapterDma, machine_->sim()->Now());
                      ring_->RequestTransmit(
                          std::move(frame),
                          [this, on_complete = std::move(on_complete)](TxStatus status) {
@@ -96,9 +102,12 @@ void TokenRingAdapter::OnFrameOnWire(const Frame& frame) {
   if (static_cast<int>(onboard_rx_.size()) >= config_.onboard_rx_slots) {
     ++rx_overruns_;
     rx_overruns_counter_->Increment();
+    machine_->sim()->telemetry().journeys.Abort(frame.journey, JourneyAnomaly::kDrop,
+                                                machine_->sim()->Now());
     return;
   }
   onboard_rx_.push_back(frame);
+  onboard_rx_depth_gauge_->Set(static_cast<int64_t>(onboard_rx_.size()));
   TryStartRxDma();
 }
 
@@ -118,6 +127,7 @@ void TokenRingAdapter::TryStartRxDma() {
     rx_dma_.Transfer(in_dma.payload_bytes, config_.dma_buffer_kind, [this]() {
       Frame done = std::move(onboard_rx_.front());
       onboard_rx_.pop_front();
+      onboard_rx_depth_gauge_->Set(static_cast<int64_t>(onboard_rx_.size()));
       rx_dma_active_ = false;
       ++frames_received_;
       frames_received_counter_->Increment();

@@ -134,6 +134,7 @@ class TokenRingAdapter {
   Counter* frames_received_counter_;
   Counter* rx_overruns_counter_;
   Counter* mac_frames_seen_counter_;
+  Gauge* onboard_rx_depth_gauge_;  // live card-buffer occupancy; `.peak` is the high-water mark
 };
 
 }  // namespace ctms

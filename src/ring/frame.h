@@ -59,6 +59,7 @@ struct Frame {
   uint16_t port = 0;
   bool is_ack = false;
   uint32_t ack_seq = 0;
+  uint64_t journey = 0;  // packet-lifecycle tracker id carried across the wire; 0 = untracked
   SimTime created_at = 0;
   // Opaque upper-layer payload (e.g. an mbuf-chain descriptor); the ring never looks inside.
   std::shared_ptr<void> annotation;

@@ -135,13 +135,17 @@ void TokenRing::FinishTransmission(TxStatus status) {
       // Active Monitor broadcasts so ring.mac_frames reflects all MAC traffic on the wire.
       mac_frames_counter_->Increment();
     }
+    sim_->telemetry().journeys.Stamp(done.frame.journey, JourneyStage::kRingTransit,
+                                     sim_->Now());
     DeliverFrame(done.frame);
   } else if (status == TxStatus::kCorrupted) {
     ++frames_corrupted_;
     frames_corrupted_counter_->Increment();
+    sim_->telemetry().journeys.Abort(done.frame.journey, JourneyAnomaly::kDrop, sim_->Now());
   } else {
     ++frames_lost_to_purge_;
     frames_lost_counter_->Increment();
+    sim_->telemetry().journeys.Abort(done.frame.journey, JourneyAnomaly::kDrop, sim_->Now());
   }
   if (done.on_complete) {
     done.on_complete(status);

@@ -148,6 +148,7 @@ std::string MetricsJson(const MetricsRegistry& metrics) {
   first = true;
   for (const auto& [name, gauge] : metrics.gauges()) {
     os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << gauge.value();
+    os << ",\n    \"" << JsonEscape(name) << ".peak\": " << gauge.peak();
     first = false;
   }
   os << "\n  },\n  \"summaries\": {";

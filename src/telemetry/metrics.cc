@@ -17,7 +17,9 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other, const std::string&
     counters_[prefix + name].Increment(counter.value());
   }
   for (const auto& [name, gauge] : other.gauges_) {
-    gauges_[prefix + name].Add(gauge.value());
+    Gauge& target = gauges_[prefix + name];
+    target.Add(gauge.value());
+    target.MergePeak(gauge.peak());
   }
   for (const auto& [name, summary] : other.summaries_) {
     summaries_[prefix + name].Merge(summary);

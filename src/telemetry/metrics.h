@@ -32,15 +32,33 @@ class Counter {
   uint64_t value_ = 0;
 };
 
-// A point-in-time level (queue depth, buffered bytes); may go down.
+// A point-in-time level (queue depth, buffered bytes); may go down. The high-watermark
+// (`peak`) remembers the largest level seen since construction or ResetPeak(), so a
+// snapshot taken after a burst still shows how deep the queue got, not just where it
+// settled. Exported as `<name>.peak` beside the live value.
 class Gauge {
  public:
-  void Set(int64_t value) { value_ = value; }
-  void Add(int64_t delta) { value_ += delta; }
+  void Set(int64_t value) {
+    value_ = value;
+    if (value_ > peak_) {
+      peak_ = value_;
+    }
+  }
+  void Add(int64_t delta) { Set(value_ + delta); }
   int64_t value() const { return value_; }
+  int64_t peak() const { return peak_; }
+  void ResetPeak() { peak_ = value_; }
+  // Folds another gauge's high-watermark in (max semantics) — used by campaign merge,
+  // where the merged slot must remember the deepest excursion of any source.
+  void MergePeak(int64_t other_peak) {
+    if (other_peak > peak_) {
+      peak_ = other_peak;
+    }
+  }
 
  private:
   int64_t value_ = 0;
+  int64_t peak_ = 0;
 };
 
 // A running summary of observed values (count/sum/min/max) — the cheap fixed-size cousin of

@@ -12,6 +12,7 @@
 #ifndef SRC_TELEMETRY_TELEMETRY_H_
 #define SRC_TELEMETRY_TELEMETRY_H_
 
+#include "src/telemetry/journey.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/span_tracer.h"
 
@@ -20,6 +21,9 @@ namespace ctms {
 struct Telemetry {
   MetricsRegistry metrics;
   SpanTracer tracer;
+  JourneyRecorder journeys;
+
+  Telemetry() { journeys.Bind(&metrics, &tracer); }
 };
 
 }  // namespace ctms

@@ -1,0 +1,180 @@
+// Journey recorder: unit semantics (id lifecycle, stage deltas, flight ring, anomalies)
+// and the two end-to-end guarantees — a short Test Case B with --journeys covers every
+// stage from source IRQ to delivery, and a same-seed run is bit-identical with the
+// recorder on or off.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/ctms.h"
+#include "src/telemetry/journey.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/telemetry.h"
+
+namespace ctms {
+namespace {
+
+TEST(JourneyRecorderTest, DisabledRecorderIsInert) {
+  Telemetry telemetry;
+  JourneyRecorder& journeys = telemetry.journeys;
+  EXPECT_FALSE(journeys.enabled());
+  const uint64_t id = journeys.Begin(1, 1000);
+  EXPECT_EQ(id, 0u);
+  journeys.Stamp(id, JourneyStage::kMbufAlloc, 2000);
+  journeys.Complete(id, 3000);
+  journeys.Abort(id, JourneyAnomaly::kDrop, 4000);
+  EXPECT_TRUE(journeys.flight().empty());
+  EXPECT_FALSE(journeys.anomaly_fired());
+  // Lazy registration: a disabled recorder leaves the metrics JSON untouched.
+  EXPECT_EQ(telemetry.metrics.CountersWithPrefix("journey."), 0u);
+}
+
+TEST(JourneyRecorderTest, StageDeltasAndEndToEnd) {
+  Telemetry telemetry;
+  JourneyRecorder& journeys = telemetry.journeys;
+  journeys.Enable();
+  const uint64_t id = journeys.Begin(7, 1000);
+  ASSERT_NE(id, 0u);
+  journeys.Stamp(id, JourneyStage::kMbufAlloc, 1400);
+  journeys.Stamp(id, JourneyStage::kIfqEnqueue, 1400);  // same instant: delta 0
+  journeys.Stamp(id, JourneyStage::kIfqDequeue, 2000);
+  journeys.Complete(id, 5000);
+  EXPECT_EQ(journeys.completed(), 1u);
+  MetricsRegistry& metrics = telemetry.metrics;
+  // First stamped stage anchors at 0; each later stage records the delta from the
+  // previous stamped stage; unstamped stages observe nothing.
+  EXPECT_EQ(metrics.GetSummary("journey.stage.source_irq")->count(), 1u);
+  EXPECT_EQ(metrics.GetSummary("journey.stage.source_irq")->max(), 0);
+  EXPECT_EQ(metrics.GetSummary("journey.stage.mbuf_alloc")->max(), 400);
+  EXPECT_EQ(metrics.GetSummary("journey.stage.ifq_enqueue")->max(), 0);
+  EXPECT_EQ(metrics.GetSummary("journey.stage.ifq_dequeue")->max(), 600);
+  EXPECT_EQ(metrics.GetSummary("journey.stage.driver_tx_start")->count(), 0u);
+  EXPECT_EQ(metrics.GetSummary("journey.stage.delivery")->max(), 3000);
+  EXPECT_EQ(metrics.GetSummary("journey.e2e")->max(), 4000);
+  EXPECT_EQ(metrics.GetCounter("journey.completed")->value(), 1u);
+}
+
+TEST(JourneyRecorderTest, RestampOverwrites) {
+  Telemetry telemetry;
+  JourneyRecorder& journeys = telemetry.journeys;
+  journeys.Enable();
+  const uint64_t id = journeys.Begin(1, 0);
+  journeys.Stamp(id, JourneyStage::kDriverTxStart, 100);
+  journeys.Stamp(id, JourneyStage::kDriverTxStart, 900);  // final hop wins
+  journeys.Complete(id, 1000);
+  EXPECT_EQ(telemetry.metrics.GetSummary("journey.stage.driver_tx_start")->max(), 900);
+  EXPECT_EQ(telemetry.metrics.GetSummary("journey.stage.delivery")->max(), 100);
+}
+
+TEST(JourneyRecorderTest, FlightRingBoundedAndAnomaliesPinned) {
+  Telemetry telemetry;
+  JourneyRecorder& journeys = telemetry.journeys;
+  journeys.set_flight_capacity(4);
+  journeys.Enable();
+  // One early drop, then far more clean traffic than the ring holds.
+  const uint64_t bad = journeys.Begin(0, 0);
+  journeys.Abort(bad, JourneyAnomaly::kDrop, 10);
+  for (uint32_t i = 1; i <= 20; ++i) {
+    const uint64_t id = journeys.Begin(i, i * 100);
+    journeys.Complete(id, i * 100 + 50);
+  }
+  EXPECT_EQ(journeys.flight().size(), 4u);
+  bool anomalous_retained = false;
+  for (const JourneyRecord& record : journeys.flight()) {
+    anomalous_retained = anomalous_retained || record.anomaly >= 0;
+  }
+  EXPECT_TRUE(anomalous_retained) << "clean journeys evicted the anomaly before the dump";
+}
+
+TEST(JourneyRecorderTest, AnomaliesCountAndArmTheDump) {
+  Telemetry telemetry;
+  JourneyRecorder& journeys = telemetry.journeys;
+  journeys.Enable();
+  EXPECT_FALSE(journeys.anomaly_fired());
+  const uint64_t id = journeys.Begin(3, 500);
+  journeys.Stamp(id, JourneyStage::kIfqEnqueue, 700);
+  journeys.Abort(id, JourneyAnomaly::kDrop, 800);
+  journeys.NoteAnomaly(JourneyAnomaly::kRetransmit, 900);
+  EXPECT_TRUE(journeys.anomaly_fired());
+  EXPECT_EQ(journeys.aborted(), 1u);
+  EXPECT_EQ(journeys.anomaly_count(JourneyAnomaly::kDrop), 1u);
+  EXPECT_EQ(journeys.anomaly_count(JourneyAnomaly::kRetransmit), 1u);
+  EXPECT_EQ(telemetry.metrics.GetCounter("journey.anomaly.drop")->value(), 1u);
+  const std::string json = journeys.FlightJson();
+  EXPECT_NE(json.find("\"anomaly\": \"drop\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retransmit\": 1"), std::string::npos) << json;
+}
+
+TEST(JourneyRecorderTest, DeadlineMissFiresOnSlowDelivery) {
+  Telemetry telemetry;
+  JourneyRecorder& journeys = telemetry.journeys;
+  journeys.set_deadline(1000);
+  journeys.Enable();
+  const uint64_t fast = journeys.Begin(1, 0);
+  journeys.Complete(fast, 999);
+  EXPECT_FALSE(journeys.anomaly_fired());
+  const uint64_t slow = journeys.Begin(2, 0);
+  journeys.Complete(slow, 1001);
+  EXPECT_TRUE(journeys.anomaly_fired());
+  EXPECT_EQ(journeys.anomaly_count(JourneyAnomaly::kDeadlineMiss), 1u);
+}
+
+TEST(JourneyRecorderTest, DumpToTracerEmitsPerPacketTracks) {
+  Telemetry telemetry;
+  telemetry.tracer.set_enabled(true);
+  JourneyRecorder& journeys = telemetry.journeys;
+  journeys.Enable();
+  const uint64_t id = journeys.Begin(11, 100);
+  journeys.Stamp(id, JourneyStage::kMbufAlloc, 250);
+  journeys.Complete(id, 400);
+  journeys.DumpToTracer();
+  EXPECT_FALSE(telemetry.tracer.spans().empty());
+  bool journey_track = false;
+  for (const auto& track : telemetry.tracer.tracks()) {
+    journey_track = journey_track || track.find("journey.") != std::string::npos;
+  }
+  EXPECT_TRUE(journey_track);
+}
+
+// --- end to end ----------------------------------------------------------------------------
+
+TEST(JourneyEndToEndTest, ShortTestCaseBCoversEveryStage) {
+  CtmsConfig config = TestCaseB();
+  config.duration = Seconds(2);
+  config.journeys = true;
+  CtmsExperiment experiment(config);
+  const ExperimentReport report = experiment.Run();
+  MetricsRegistry& metrics = experiment.sim().telemetry().metrics;
+  for (int s = 0; s < kJourneyStageCount; ++s) {
+    const std::string name =
+        std::string("journey.stage.") + JourneyStageName(static_cast<JourneyStage>(s));
+    EXPECT_GT(metrics.GetSummary(name)->count(), 0u) << name << " never stamped";
+  }
+  EXPECT_EQ(metrics.GetCounter("journey.completed")->value(), report.packets_delivered);
+  EXPECT_EQ(metrics.GetSummary("journey.e2e")->count(), report.packets_delivered);
+  // An e2e latency below one ring rotation or above a second would be nonsense.
+  EXPECT_GT(metrics.GetSummary("journey.e2e")->min(), 0);
+  EXPECT_LT(metrics.GetSummary("journey.e2e")->max(), Seconds(1));
+}
+
+TEST(GoldenEquivalence, JourneysOnOffReportsIdentical) {
+  CtmsConfig off_config = TestCaseB();
+  off_config.duration = Seconds(3);
+  CtmsExperiment off_experiment(off_config);
+  const std::string off_summary = off_experiment.Run().Summary();
+
+  CtmsConfig on_config = TestCaseB();
+  on_config.duration = Seconds(3);
+  on_config.journeys = true;
+  on_config.stage_histograms = true;
+  on_config.flight_recorder = 8;
+  CtmsExperiment on_experiment(on_config);
+  const std::string on_summary = on_experiment.Run().Summary();
+
+  // The recorder observes; it must not perturb. Same seed, same report, byte for byte.
+  EXPECT_EQ(off_summary, on_summary);
+}
+
+}  // namespace
+}  // namespace ctms

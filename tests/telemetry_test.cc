@@ -229,6 +229,95 @@ TEST(MetricsRegistryTest, SummaryTracksBounds) {
   EXPECT_DOUBLE_EQ(s->Mean(), 4.0);
 }
 
+TEST(MetricsRegistryTest, SummaryMergeFromEmptyIsIdentity) {
+  Summary target;
+  target.Observe(5);
+  target.Observe(9);
+  Summary empty;  // count == 0: merging it must not disturb min/max/sum
+  target.Merge(empty);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 5);
+  EXPECT_EQ(target.max(), 9);
+  EXPECT_EQ(target.sum(), 14);
+
+  // And merging into an empty target adopts the source verbatim.
+  Summary fresh;
+  fresh.Merge(target);
+  EXPECT_EQ(fresh.count(), 2u);
+  EXPECT_EQ(fresh.min(), 5);
+  EXPECT_EQ(fresh.max(), 9);
+}
+
+TEST(MetricsRegistryTest, SummaryMergeSingleValue) {
+  Summary a;
+  a.Observe(7);
+  Summary b;
+  b.Observe(-3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), -3);
+  EXPECT_EQ(a.max(), 7);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, SummaryMergePropagatesBounds) {
+  Summary a;
+  a.Observe(10);
+  a.Observe(20);
+  Summary b;
+  b.Observe(-100);
+  b.Observe(500);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), -100);
+  EXPECT_EQ(a.max(), 500);
+  EXPECT_EQ(a.sum(), 430);
+}
+
+TEST(MetricsRegistryTest, GaugeTracksHighWatermark) {
+  Gauge gauge;
+  gauge.Set(4);
+  gauge.Set(17);
+  gauge.Set(2);
+  EXPECT_EQ(gauge.value(), 2);
+  EXPECT_EQ(gauge.peak(), 17);
+  gauge.Add(3);
+  EXPECT_EQ(gauge.value(), 5);
+  EXPECT_EQ(gauge.peak(), 17);
+  gauge.ResetPeak();
+  EXPECT_EQ(gauge.peak(), 5);
+}
+
+TEST(MetricsRegistryTest, MergeFromCarriesGaugePeaks) {
+  MetricsRegistry run;
+  Gauge* depth = run.GetGauge("ifq.depth");
+  depth->Set(30);  // peak 30...
+  depth->Set(1);   // ...but only 1 at snapshot time
+  MetricsRegistry merged;
+  merged.MergeFrom(run, "run0.");
+  EXPECT_EQ(merged.GetGauge("run0.ifq.depth")->value(), 1);
+  EXPECT_EQ(merged.GetGauge("run0.ifq.depth")->peak(), 30);
+}
+
+TEST(JsonExportTest, EmptySummaryExports) {
+  MetricsRegistry registry;
+  registry.GetSummary("never.observed");  // count == 0: export must stay valid JSON
+  const std::string json = MetricsJson(registry);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("never.observed"), std::string::npos);
+}
+
+TEST(JsonExportTest, GaugePeakExports) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("adapter.onboard_rx.depth");
+  gauge->Set(9);
+  gauge->Set(3);
+  const std::string json = MetricsJson(registry);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"adapter.onboard_rx.depth\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"adapter.onboard_rx.depth.peak\": 9"), std::string::npos) << json;
+}
+
 // --- tracer --------------------------------------------------------------------------------
 
 TEST(SpanTracerTest, DisabledByDefault) {

@@ -32,6 +32,7 @@
 #include "src/core/ctms.h"
 #include "src/core/report_stats.h"
 #include "src/measure/export.h"
+#include "src/telemetry/journey.h"
 #include "src/telemetry/json_export.h"
 
 namespace {
@@ -86,7 +87,15 @@ void PrintUsage() {
       "  --metrics-json=FILE   write the run summary + full metrics registry as JSON\n"
       "                        (campaign: the merged aggregate + per-run document)\n"
       "  --trace-json=FILE     write a Chrome trace-event JSON (Perfetto-loadable)\n"
-      "  --print-metrics       print every telemetry counter after the run\n");
+      "  --print-metrics       print every telemetry counter after the run\n\n"
+      "packet journeys (ctms experiment; sweepable like every other flag):\n"
+      "  --journeys            per-packet lifecycle recording with a per-stage latency\n"
+      "                        breakdown (source IRQ to delivery) in the run summary\n"
+      "  --flight-recorder=N   finished journeys retained for post-mortems (default 64)\n"
+      "  --journey-json=FILE   write the flight-recorder dump; when omitted, an anomaly\n"
+      "                        (deadline miss, drop, retransmit, reorder-evict) writes\n"
+      "                        flight_recorder.json automatically\n"
+      "  --stage-histograms    per-stage log2 delta histograms in the breakdown\n");
 }
 
 // Parses argv into one ScenarioConfig through the shared flag tables
@@ -147,6 +156,27 @@ bool ParseOptions(int argc, char** argv, ScenarioConfig* options) {
 // requested file could not be written.
 bool EmitTelemetry(const ScenarioConfig& options, Simulation& sim, const RunSummaryInfo& info) {
   bool ok = true;
+  JourneyRecorder& journeys = sim.telemetry().journeys;
+  if (journeys.enabled()) {
+    std::cout << "\n" << journeys.StageBreakdown();
+    if (journeys.anomaly_fired()) {
+      // An anomaly arms the automatic post-mortem: spans onto the trace (before it is
+      // written below) and a JSON dump even when no --journey-json path was given.
+      journeys.DumpToTracer();
+    }
+    const std::string journey_path = !options.journey_json.empty()
+                                         ? options.journey_json
+                                         : journeys.anomaly_fired() ? "flight_recorder.json"
+                                                                    : "";
+    if (!journey_path.empty()) {
+      if (WriteJourneyJson(journeys, journey_path)) {
+        std::printf("wrote %s\n", journey_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", journey_path.c_str());
+        ok = false;
+      }
+    }
+  }
   if (options.print_metrics) {
     std::printf("telemetry counters:\n");
     for (const auto& [name, counter] : sim.telemetry().metrics.counters()) {
