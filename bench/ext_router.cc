@@ -28,7 +28,7 @@ int main() {
     std::printf("  %-22s %-12s %-12s %-12llu %-14llu %-16s\n",
                 via_mbufs ? "via mbufs (2 copies)" : "zero-copy",
                 report.KeepsUp() ? "KEEPS UP" : "FALLS BEHIND",
-                Pct(report.router_cpu_utilization).c_str(),
+                Pct(report.router_cpu_utilization()).c_str(),
                 static_cast<unsigned long long>(report.packets_lost),
                 static_cast<unsigned long long>(report.sink_underruns),
                 FormatDuration(static_cast<SimDuration>(

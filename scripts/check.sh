@@ -22,6 +22,26 @@ echo "=== bench smoke: journey recorder overhead gate ==="
 ./build/bench/micro_packet_path --smoke --json=BENCH_packet_path.json
 echo "wrote BENCH_packet_path.json"
 
+echo "=== bench smoke: fabric shard-pool scaling ==="
+# Exits nonzero if the event sequence diverges across thread counts.
+./build/bench/micro_fabric --smoke --json=BENCH_fabric.json
+echo "wrote BENCH_fabric.json"
+
+echo "=== fabric determinism: --jobs=1 vs --jobs=4 byte-diff ==="
+# Same seed, same config, any shard-thread count: the exported run summary must be
+# byte-identical. A diff here is a causality-window bug, not flakiness. jobs=4 is pinned
+# (not nproc) so the threaded shard-pool path runs even on a single-core host.
+fabric_smoke() {
+  ./build/tools/ctms_sim --experiment=fabric --rings=8 --stations-per-ring=16 \
+      --fabric-topology=ring-of-rings --duration=3 --journeys \
+      --jobs="$1" --metrics-json="$2" > /dev/null
+}
+fabric_smoke 1 fabric-jobs1.json
+fabric_smoke 4 fabric-jobs4.json
+diff fabric-jobs1.json fabric-jobs4.json
+rm -f fabric-jobs1.json fabric-jobs4.json
+echo "fabric run summaries byte-identical across jobs"
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "=== tier 1 clean (sanitizers skipped) ==="
   exit 0
@@ -37,10 +57,12 @@ echo "=== sanitizers: TSan (campaign worker pool) ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 cmake --build build-tsan -j "$(nproc)" --target ctms_tests ctms_sim_cli
-# The campaign tests run real worker pools (jobs up to 8); the CLI run below pins the
-# end-to-end path at --jobs=4.
-./build-tsan/tests/ctms_tests --gtest_filter='Campaign*'
+# The campaign tests run real worker pools (jobs up to 8), and the fabric determinism
+# tests run real shard pools; the CLI runs below pin both end-to-end paths at --jobs=4.
+./build-tsan/tests/ctms_tests --gtest_filter='Campaign*:Fabric*'
 ./build-tsan/tools/ctms_sim --experiment=campaign --grid='seed=1:4' --jobs=4 --duration=1 \
     > /dev/null
+./build-tsan/tools/ctms_sim --experiment=fabric --rings=8 --stations-per-ring=8 \
+    --fabric-topology=ring-of-rings --duration=2 --jobs=4 > /dev/null
 
 echo "=== all gates clean ==="

@@ -14,6 +14,7 @@
 #include "src/core/report_stats.h"
 #include "src/core/router.h"
 #include "src/core/server.h"
+#include "src/fabric/fabric.h"
 
 namespace ctms {
 
@@ -78,6 +79,21 @@ CampaignRunRecord RunScenarioJob(const CampaignJob& job) {
     AttachFaultReport(&record.info, experiment.topology());
     SnapshotMetrics(&record, experiment.sim());
     record.healthy = report.KeepsUp();
+  } else if (options.experiment == "fabric") {
+    FabricExperiment experiment(FabricConfigFrom(options));
+    const FabricReport report = experiment.Run();
+    record.info = InfoFor(options, "fabric");
+    record.info.stats = SummaryStats(report);
+    if (!options.faults.events().empty()) {
+      AttachFaultReport(
+          &record.info,
+          experiment.shard(static_cast<size_t>(report.config.fault_shard)));
+    }
+    // The fabric spans many simulations; snapshot the merged "shard<i>." registry so the
+    // campaign's "run<j>." prefixing nests it one level deeper.
+    record.metrics = std::make_unique<MetricsRegistry>();
+    experiment.MergeMetricsInto(record.metrics.get());
+    record.healthy = report.Healthy();
   } else if (options.experiment == "faultsweep") {
     FaultSweepExperiment experiment(FaultSweepConfigFrom(options));
     const FaultSweepReport report = experiment.Run();

@@ -16,6 +16,7 @@
 #include "src/core/multi_stream.h"
 #include "src/core/router.h"
 #include "src/core/server.h"
+#include "src/fabric/fabric.h"
 
 namespace ctms {
 
@@ -26,6 +27,8 @@ StatList SummaryStats(const BaselineReport& report);
 StatList SummaryStats(const MultiStreamReport& report);
 StatList SummaryStats(const ServerReport& report);
 StatList SummaryStats(const RouterReport& report);
+// Flat totals plus one row per directed inter-ring hop and per shard ring.
+StatList SummaryStats(const FabricReport& report);
 // One row per (level, policy) cell, "L<level>_<policy>_" prefixed — the degradation curve
 // flattened for JSON export.
 StatList SummaryStats(const FaultSweepReport& report);

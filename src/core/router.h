@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/scenario.h"
 #include "src/fault/fault_plan.h"
@@ -34,27 +35,54 @@ struct RouterConfig {
   // (pointer passing; the rx buffer is held until the B-side DMA has read it).
   bool forward_via_mbufs = true;
   double mac_fraction = 0.002;
-  bool background = true;  // keep-alive chatter on both rings
+  bool background = true;  // keep-alive chatter on every ring
+  // Store-and-forward router stations in series (rings = chain_hops + 1). 1 is the classic
+  // two-ring footnote-5 setup; deeper chains model a multi-bridge campus backbone path.
+  int64_t chain_hops = 1;
   SimDuration duration = Seconds(30);
   uint64_t seed = 1;
   FaultPlan faults;  // empty = no injector; runs stay bit-identical to plan-free ones
 };
 
+// One store-and-forward stage: the router station between ring k and ring k+1.
+struct RouterHopStats {
+  std::string station;
+  uint64_t forwarded = 0;
+  uint64_t queue_drops = 0;       // out-port CTMSP priority-queue overflow
+  double cpu_utilization = 0.0;
+  Histogram hop_latency{"source-to-hop latency"};  // source IRQ to this hop's forward
+};
+
 struct RouterReport {
   RouterConfig config;
   uint64_t packets_built = 0;
-  uint64_t packets_forwarded = 0;
+  uint64_t packets_forwarded = 0;  // onto the final ring (== hops.back().forwarded)
   uint64_t packets_delivered = 0;
   uint64_t packets_lost = 0;
-  uint64_t router_queue_drops = 0;
   uint64_t sink_underruns = 0;
-  double router_cpu_utilization = 0.0;
-  double ring_a_utilization = 0.0;
-  double ring_b_utilization = 0.0;
+  std::vector<RouterHopStats> hops;      // one per router station, path order
+  std::vector<double> ring_utilization;  // one per ring, path order (hops.size() + 1)
   Histogram end_to_end{"router end-to-end latency"};
+
+  // The classic two-ring view: the flat singletons the report carried before chains
+  // existed, now reading the per-hop vectors. Callers of the historical names keep the
+  // historical numbers; for deeper chains they read the first hop / the edge rings.
+  uint64_t router_queue_drops() const { return hops.empty() ? 0 : hops.front().queue_drops; }
+  double router_cpu_utilization() const {
+    return hops.empty() ? 0.0 : hops.front().cpu_utilization;
+  }
+  double ring_a_utilization() const {
+    return ring_utilization.empty() ? 0.0 : ring_utilization.front();
+  }
+  double ring_b_utilization() const {
+    return ring_utilization.size() < 2 ? 0.0 : ring_utilization.back();
+  }
+
   bool KeepsUp() const {
+    // Each store-and-forward stage holds one packet in flight at the end of the run, plus
+    // two endpoints' worth of slack — exactly the historical 3 for the single-hop chain.
     return packets_built > 0 && packets_lost == 0 && sink_underruns == 0 &&
-           packets_delivered + 3 >= packets_built;
+           packets_delivered + 2 + hops.size() >= packets_built;
   }
   std::string Summary() const;
 };
@@ -71,7 +99,7 @@ class RouterExperiment {
   Simulation& sim() { return topo_.sim(); }
   TokenRing& ring_a() { return topo_.ring(0); }
   TokenRing& ring_b() { return topo_.ring(1); }
-  Machine& router_machine() { return router_->machine(); }
+  Machine& router_machine() { return routers_.front()->machine(); }
   RingTopology& topology() { return topo_; }
 
  private:
@@ -79,11 +107,13 @@ class RouterExperiment {
   RingTopology topo_;
 
   Station* src_ = nullptr;
-  Station* router_ = nullptr;  // port 0 on ring A, port 1 on ring B
+  // Router k bridges ring k (port 0) and ring k+1 (port 1); one entry per chain hop.
+  std::vector<Station*> routers_;
   Station* dst_ = nullptr;
 
   std::unique_ptr<StreamEndpoints> stream_;
-  std::unique_ptr<CtmspRelay> relay_;
+  std::vector<std::unique_ptr<Histogram>> hop_latency_;
+  std::vector<std::unique_ptr<CtmspRelay>> relays_;
 };
 
 }  // namespace ctms

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <initializer_list>
 #include <type_traits>
 #include <variant>
+#include <vector>
 
 namespace ctms {
 
@@ -52,6 +52,11 @@ const ValueFlag kValueFlags[] = {
     {"period-ms", &ScenarioConfig::period_ms, false},
     {"streams", &ScenarioConfig::streams, false},
     {"clients", &ScenarioConfig::clients, false},
+    {"chain-hops", &ScenarioConfig::chain_hops, false},
+    {"rings", &ScenarioConfig::rings, false},
+    {"stations-per-ring", &ScenarioConfig::stations_per_ring, false},
+    {"fabric-topology", &ScenarioConfig::fabric_topology, true},
+    {"link-latency-us", &ScenarioConfig::link_latency_us, false},
     {"memory", &ScenarioConfig::memory, true},
     {"method", &ScenarioConfig::method, true},
     {"ring-priority", &ScenarioConfig::ring_priority, false},
@@ -89,27 +94,55 @@ void StoreValue(ScenarioConfig* options, const ValueTarget& target, const std::s
       target);
 }
 
+// The one experiment registry. Both --experiment and --cell-experiment validate against
+// this table (they used to carry hand-copied lists that had already drifted); `cell` marks
+// the experiments a campaign grid cell may run — everything but the campaign driver itself,
+// whose nesting the campaign rejects with its own message.
+struct ExperimentEntry {
+  const char* name;
+  bool cell;
+};
+
+constexpr ExperimentEntry kExperiments[] = {
+    {"ctms", true},        {"baseline", true}, {"multistream", true},
+    {"server", true},      {"router", true},   {"faultsweep", true},
+    {"fabric", true},      {"campaign", false},
+};
+
+std::vector<const char*> ExperimentNames(bool cell_only) {
+  std::vector<const char*> names;
+  for (const ExperimentEntry& entry : kExperiments) {
+    if (!cell_only || entry.cell) {
+      names.push_back(entry.name);
+    }
+  }
+  return names;
+}
+
 // A string flag restricted to an enumerated set of spellings.
 struct ChoiceCheck {
   const char* name;
   std::string ScenarioConfig::*field;
-  std::initializer_list<const char*> allowed;
+  std::vector<const char*> allowed;
 };
 
-const ChoiceCheck kChoiceChecks[] = {
-    {"experiment",
-     &ScenarioConfig::experiment,
-     {"ctms", "baseline", "multistream", "server", "router", "faultsweep", "campaign"}},
-    {"cell-experiment",
-     &ScenarioConfig::cell_experiment,
-     {"ctms", "baseline", "multistream", "server", "router", "faultsweep"}},
-    {"scenario", &ScenarioConfig::scenario, {"A", "B"}},
-    {"memory", &ScenarioConfig::memory, {"iocm", "system"}},
-    {"method", &ScenarioConfig::method, {"pcat", "rtpc", "logic", "truth"}},
-    {"degradation",
-     &ScenarioConfig::degradation,
-     {"drop", "drop-oldest", "block", "retransmit", "purge-retransmit"}},
-};
+const std::vector<ChoiceCheck>& ChoiceChecks() {
+  static const std::vector<ChoiceCheck> checks = {
+      {"experiment", &ScenarioConfig::experiment, ExperimentNames(/*cell_only=*/false)},
+      {"cell-experiment", &ScenarioConfig::cell_experiment,
+       ExperimentNames(/*cell_only=*/true)},
+      {"scenario", &ScenarioConfig::scenario, {"A", "B"}},
+      {"memory", &ScenarioConfig::memory, {"iocm", "system"}},
+      {"method", &ScenarioConfig::method, {"pcat", "rtpc", "logic", "truth"}},
+      {"fabric-topology",
+       &ScenarioConfig::fabric_topology,
+       {"chain", "star", "ring-of-rings"}},
+      {"degradation",
+       &ScenarioConfig::degradation,
+       {"drop", "drop-oldest", "block", "retransmit", "purge-retransmit"}},
+  };
+  return checks;
+}
 
 // A numeric flag with an inclusive valid range.
 struct RangeCheck {
@@ -139,6 +172,13 @@ const RangeCheck kRangeChecks[] = {
     {"sweep-spacing-ms", &ScenarioConfig::sweep_spacing_ms, 1, INT64_MAX,
      "--sweep-spacing-ms must be positive"},
     {"jobs", &ScenarioConfig::jobs, 1, 64, "--jobs must be between 1 and 64"},
+    {"chain-hops", &ScenarioConfig::chain_hops, 1, 8,
+     "--chain-hops must be between 1 and 8"},
+    {"rings", &ScenarioConfig::rings, 1, 64, "--rings must be between 1 and 64"},
+    {"stations-per-ring", &ScenarioConfig::stations_per_ring, 2, 4096,
+     "--stations-per-ring must be between 2 and 4096"},
+    {"link-latency-us", &ScenarioConfig::link_latency_us, 1, INT64_MAX,
+     "--link-latency-us must be positive (it is the fabric lookahead window)"},
     {"histogram", &ScenarioConfig::histogram, 0, 7,
      "--histogram must be between 1 and 7, or 0 for none"},
     {"flight-recorder", &ScenarioConfig::flight_recorder, 1, 1'000'000,
@@ -197,7 +237,7 @@ bool ApplyScenarioPresenceFlag(ScenarioConfig* config, const std::string& name) 
 }
 
 std::string ValidateScenarioConfig(const ScenarioConfig& config) {
-  for (const ChoiceCheck& check : kChoiceChecks) {
+  for (const ChoiceCheck& check : ChoiceChecks()) {
     const std::string& value = config.*check.field;
     if (std::none_of(check.allowed.begin(), check.allowed.end(),
                      [&](const char* allowed) { return value == allowed; })) {
@@ -306,6 +346,25 @@ RouterConfig RouterConfigFrom(const ScenarioConfig& cli) {
   config.packet_period = Milliseconds(cli.period_ms);
   config.dma_buffer_kind = cli.MemoryKindValue();
   config.forward_via_mbufs = !cli.zero_copy;  // --zero-copy selects zero-copy forwarding
+  config.chain_hops = cli.chain_hops;
+  config.duration = Seconds(cli.duration_s);
+  config.seed = cli.seed;
+  config.faults = cli.faults;
+  return config;
+}
+
+FabricConfig FabricConfigFrom(const ScenarioConfig& cli) {
+  FabricConfig config;
+  config.rings = cli.rings;
+  config.stations_per_ring = cli.stations_per_ring;
+  config.topology =
+      ParseFabricTopology(cli.fabric_topology).value_or(FabricTopology::kRingOfRings);
+  config.link_latency = Microseconds(cli.link_latency_us);
+  config.jobs = cli.jobs;
+  config.packet_bytes = cli.packet_bytes;
+  config.packet_period = Milliseconds(cli.period_ms);
+  config.dma_buffer_kind = cli.MemoryKindValue();
+  config.journeys = cli.journeys;
   config.duration = Seconds(cli.duration_s);
   config.seed = cli.seed;
   config.faults = cli.faults;

@@ -22,6 +22,7 @@
 #include "src/core/router.h"
 #include "src/core/scenario.h"
 #include "src/core/server.h"
+#include "src/fabric/fabric.h"
 #include "src/fault/fault_plan.h"
 #include "src/proto/degradation.h"
 
@@ -29,11 +30,20 @@ namespace ctms {
 
 struct ScenarioConfig {
   // --- experiment selection ------------------------------------------------------------
-  std::string experiment = "ctms";  // ctms|baseline|multistream|server|router|faultsweep
+  // The full spelling list lives in kExperiments (scenario_cli.cc) — the one table both
+  // --experiment and --cell-experiment validate against.
+  std::string experiment = "ctms";
   std::string scenario = "A";       // ctms: Test Case A or B preset
   bool tcp = false;                 // baseline: TCP-lite instead of UDP
   int64_t streams = 2;              // multistream
   int64_t clients = 2;              // server
+  int64_t chain_hops = 1;           // router: store-and-forward chain depth
+
+  // --- fabric --------------------------------------------------------------------------
+  int64_t rings = 4;
+  int64_t stations_per_ring = 8;
+  std::string fabric_topology = "ring-of-rings";  // chain|star|ring-of-rings
+  int64_t link_latency_us = 500;
 
   // --- stream and environment ----------------------------------------------------------
   int64_t duration_s = 30;
@@ -63,7 +73,7 @@ struct ScenarioConfig {
   int64_t sweep_spacing_ms = 4;   // within-storm purge spacing
 
   // --- campaign ------------------------------------------------------------------------
-  int64_t jobs = 1;                      // worker threads (--experiment=campaign)
+  int64_t jobs = 1;                      // worker threads (campaign cells / fabric shards)
   std::string grid_spec;                 // e.g. "seed=1:4;streams=1,2,4"
   std::string cell_experiment = "ctms";  // experiment each grid point runs
   bool independent_faults = false;       // per-run fault RNG salt (FaultPlan::set_rng_salt)
@@ -120,6 +130,7 @@ MultiStreamConfig MultiStreamConfigFrom(const ScenarioConfig& cli);
 ServerConfig ServerConfigFrom(const ScenarioConfig& cli);
 RouterConfig RouterConfigFrom(const ScenarioConfig& cli);
 FaultSweepConfig FaultSweepConfigFrom(const ScenarioConfig& cli);
+FabricConfig FabricConfigFrom(const ScenarioConfig& cli);
 
 }  // namespace ctms
 

@@ -171,6 +171,10 @@ void VcaSourceDriver::OnIrq() {
           packet.bytes = wire_bytes;
           packet.seq = seq;
           packet.dst = dst_;
+          // The CTMSP destination device number rides the demux field end-to-end; the fabric
+          // keys its per-flow routing tables off it at every bridge. 0 (the default) for the
+          // single-ring experiments, which never look at it.
+          packet.port = connection_->config().destination_device;
           packet.created_at = now;
           packet.journey = journey;
           packet.mbuf_segments = chain->segments();

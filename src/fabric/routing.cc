@@ -1,0 +1,95 @@
+#include "src/fabric/routing.h"
+
+#include <deque>
+
+namespace ctms {
+
+std::optional<FabricTopology> ParseFabricTopology(const std::string& name) {
+  if (name == "chain") {
+    return FabricTopology::kChain;
+  }
+  if (name == "star") {
+    return FabricTopology::kStar;
+  }
+  if (name == "ring-of-rings") {
+    return FabricTopology::kRingOfRings;
+  }
+  return std::nullopt;
+}
+
+const char* FabricTopologyName(FabricTopology topology) {
+  switch (topology) {
+    case FabricTopology::kChain:
+      return "chain";
+    case FabricTopology::kStar:
+      return "star";
+    case FabricTopology::kRingOfRings:
+      return "ring-of-rings";
+  }
+  return "?";
+}
+
+std::vector<FabricLinkSpec> BuildLinks(FabricTopology topology, int shards) {
+  std::vector<FabricLinkSpec> links;
+  if (shards < 2) {
+    return links;
+  }
+  switch (topology) {
+    case FabricTopology::kChain:
+      for (int i = 0; i + 1 < shards; ++i) {
+        links.push_back({i, i + 1});
+      }
+      break;
+    case FabricTopology::kStar:
+      for (int i = 1; i < shards; ++i) {
+        links.push_back({0, i});
+      }
+      break;
+    case FabricTopology::kRingOfRings:
+      for (int i = 0; i + 1 < shards; ++i) {
+        links.push_back({i, i + 1});
+      }
+      if (shards > 2) {
+        links.push_back({0, shards - 1});
+      }
+      break;
+  }
+  return links;
+}
+
+RoutingTable::RoutingTable(const std::vector<FabricLinkSpec>& links, int shards)
+    : shards_(shards),
+      next_link_(static_cast<size_t>(shards) * static_cast<size_t>(shards), -1),
+      hops_(static_cast<size_t>(shards) * static_cast<size_t>(shards), -1) {
+  // Per-shard incident links in index order; BFS expands them in that order, so ties
+  // (ring-of-rings: two equal-length ways around) resolve to the lower link index — a
+  // deterministic contract the golden tests pin.
+  std::vector<std::vector<int>> incident(static_cast<size_t>(shards));
+  for (size_t k = 0; k < links.size(); ++k) {
+    incident[static_cast<size_t>(links[k].a)].push_back(static_cast<int>(k));
+    incident[static_cast<size_t>(links[k].b)].push_back(static_cast<int>(k));
+  }
+  for (int from = 0; from < shards; ++from) {
+    hops_[Index(from, from)] = 0;
+    std::deque<int> frontier{from};
+    while (!frontier.empty()) {
+      const int at = frontier.front();
+      frontier.pop_front();
+      for (int k : incident[static_cast<size_t>(at)]) {
+        const int peer = links[static_cast<size_t>(k)].a == at ? links[static_cast<size_t>(k)].b
+                                                               : links[static_cast<size_t>(k)].a;
+        if (hops_[Index(from, peer)] >= 0) {
+          continue;
+        }
+        hops_[Index(from, peer)] = hops_[Index(from, at)] + 1;
+        // First hop toward `peer`: either the link we just crossed (direct neighbor) or
+        // whatever first hop already reaches `at`.
+        next_link_[Index(from, peer)] =
+            at == from ? k : next_link_[Index(from, at)];
+        frontier.push_back(peer);
+      }
+    }
+  }
+}
+
+}  // namespace ctms

@@ -1,0 +1,75 @@
+// Fabric routing: the shard-level graph of a multi-ring campus and the static routes
+// bridges forward along.
+//
+// A fabric is a handful of Token Rings (shards) joined by point-to-point inter-ring links.
+// The three shapes the experiments sweep:
+//   chain         s0 - s1 - s2 - ... - s(n-1)        (a backbone corridor)
+//   star          s0 hubs every other shard          (a campus head-end)
+//   ring-of-rings the chain closed into a cycle      (the CDTP-style campus loop)
+//
+// Routes are computed once, by breadth-first search expanding links in index order, so the
+// next-hop tables — and therefore every forwarding decision — are a pure function of
+// (topology, shard count). No routing protocol is simulated; the paper's deferred router
+// question is about data-path rates, not route discovery.
+
+#ifndef SRC_FABRIC_ROUTING_H_
+#define SRC_FABRIC_ROUTING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ctms {
+
+enum class FabricTopology {
+  kChain,
+  kStar,
+  kRingOfRings,
+};
+
+// CLI spellings: chain | star | ring-of-rings.
+std::optional<FabricTopology> ParseFabricTopology(const std::string& name);
+const char* FabricTopologyName(FabricTopology topology);
+
+// One inter-ring link between shards `a` and `b` (always a < b). The link index — its
+// position in the BuildLinks result — names the bridge stations on both shards
+// ("bridge<index>") and orders every deterministic iteration over the fabric.
+struct FabricLinkSpec {
+  int a = 0;
+  int b = 0;
+};
+
+// The canonical link list for `shards` shards in the given shape. Chain: (i, i+1). Star:
+// (0, i). Ring-of-rings: the chain plus the closing link (0, n-1) when n > 2 (n == 2 would
+// duplicate the only edge; n == 1 has no links in any shape).
+std::vector<FabricLinkSpec> BuildLinks(FabricTopology topology, int shards);
+
+// Static next-hop tables over a link list. For every (from, to) pair the table answers
+// which incident link a packet at `from` should take next, and how many links the whole
+// path crosses — the hop count sizes the receiving sink's jitter buffer.
+class RoutingTable {
+ public:
+  RoutingTable(const std::vector<FabricLinkSpec>& links, int shards);
+
+  // The link index of the first hop from `from` toward `to`; -1 when from == to or `to`
+  // is unreachable.
+  int NextLink(int from, int to) const { return next_link_[Index(from, to)]; }
+
+  // Links crossed on the path from `from` to `to`; 0 when from == to, -1 if unreachable.
+  int HopCount(int from, int to) const { return hops_[Index(from, to)]; }
+
+  int shards() const { return shards_; }
+
+ private:
+  size_t Index(int from, int to) const {
+    return static_cast<size_t>(from) * static_cast<size_t>(shards_) + static_cast<size_t>(to);
+  }
+
+  int shards_;
+  std::vector<int> next_link_;
+  std::vector<int> hops_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_FABRIC_ROUTING_H_

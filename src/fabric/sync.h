@@ -1,0 +1,64 @@
+// ShardPool: the worker pool behind the fabric's conservative-lookahead rounds.
+//
+// Each synchronization round runs every shard's event window (Simulation::RunUntilBefore)
+// exactly once. RunRound hands indices 0..n-1 to the pool and returns only when all have
+// finished — that return IS the round barrier: afterwards the caller (single-threaded) may
+// read every shard's clock and drain every outbox without synchronization.
+//
+// Determinism does not depend on the pool at all. Shards share no mutable state during a
+// window (each touches only its own Simulation and appends to its own outbox), so any
+// assignment of shards to threads — including the threads <= 1 inline path — produces the
+// same per-shard event sequences. The pool only decides wall-clock speed, which is exactly
+// the contract the campaign runner already established for --jobs.
+//
+// A fabric run executes tens of thousands of rounds (duration / link latency), so workers
+// persist across rounds and park on a condition variable between them; spawning threads
+// per round would dominate the runtime.
+
+#ifndef SRC_FABRIC_SYNC_H_
+#define SRC_FABRIC_SYNC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctms {
+
+class ShardPool {
+ public:
+  // threads <= 1 creates no workers; RunRound then executes inline on the caller.
+  explicit ShardPool(size_t threads);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  // Runs fn(i) for every i in [0, n), spread across the workers (or inline), and returns
+  // after the last one completes. `fn` must be safe to call concurrently for distinct i.
+  void RunRound(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t remaining_ = 0;  // workers yet to check in for the current generation
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ctms
+
+#endif  // SRC_FABRIC_SYNC_H_

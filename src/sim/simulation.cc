@@ -20,11 +20,11 @@ Simulation::Simulation(uint64_t seed)
 EventId Simulation::After(SimDuration delay, EventQueue::Action action) {
   assert(delay >= 0);
   scheduled_counter_->Increment();
-  return queue_.Schedule(now_ + delay, std::move(action));
+  return queue_.Schedule(clock_.Now() + delay, std::move(action));
 }
 
 EventId Simulation::At(SimTime when, EventQueue::Action action) {
-  assert(when >= now_);
+  assert(when >= clock_.Now());
   scheduled_counter_->Increment();
   return queue_.Schedule(when, std::move(action));
 }
@@ -46,14 +46,35 @@ uint64_t Simulation::RunUntil(SimTime until) {
     }
     SimTime when = 0;
     EventQueue::Action action = queue_.PopNext(&when);
-    now_ = when;
+    clock_.AdvanceTo(when);
     action();
     ++count;
     ++events_executed_;
     executed_counter_->Increment();
   }
-  if (now_ < until && !stop_requested_) {
-    now_ = until;
+  if (clock_.Now() < until && !stop_requested_) {
+    clock_.AdvanceTo(until);
+  }
+  return count;
+}
+
+uint64_t Simulation::RunUntilBefore(SimTime horizon) {
+  stop_requested_ = false;
+  uint64_t count = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.NextTime() >= horizon) {
+      break;
+    }
+    SimTime when = 0;
+    EventQueue::Action action = queue_.PopNext(&when);
+    clock_.AdvanceTo(when);
+    action();
+    ++count;
+    ++events_executed_;
+    executed_counter_->Increment();
+  }
+  if (clock_.Now() < horizon && !stop_requested_) {
+    clock_.AdvanceTo(horizon);
   }
   return count;
 }
@@ -64,7 +85,7 @@ uint64_t Simulation::RunAll() {
   while (!queue_.empty() && !stop_requested_) {
     SimTime when = 0;
     EventQueue::Action action = queue_.PopNext(&when);
-    now_ = when;
+    clock_.AdvanceTo(when);
     action();
     ++count;
     ++events_executed_;

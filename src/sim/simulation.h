@@ -10,6 +10,7 @@
 #include <functional>
 #include <string>
 
+#include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
 #include "src/sim/time.h"
@@ -24,7 +25,10 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const { return clock_.Now(); }
+  // The time cursor itself, for external schedulers that bound this simulation's progress
+  // (the fabric reads shard clocks between synchronization rounds).
+  const Clock& clock() const { return clock_; }
   Rng& rng() { return rng_; }
 
   // The run's metrics registry and span tracer. Model objects cache counter pointers at
@@ -46,6 +50,14 @@ class Simulation {
   // Events at exactly `until` are executed. Returns the number of events run.
   uint64_t RunUntil(SimTime until);
 
+  // Window stepping for externally scheduled shards: runs every event strictly before
+  // `horizon`, then parks the clock at `horizon` itself. Events at exactly `horizon` stay
+  // pending, and new events may afterwards be injected at any time >= `horizon` — which is
+  // the conservative-lookahead contract: a neighbor shard whose messages arrive no earlier
+  // than `horizon` can deliver them after this returns without violating causality.
+  // Returns the number of events run.
+  uint64_t RunUntilBefore(SimTime horizon);
+
   // Runs events until the queue is empty. Returns the number of events run.
   uint64_t RunAll();
 
@@ -62,7 +74,7 @@ class Simulation {
  private:
   Telemetry telemetry_;
   EventQueue queue_;
-  SimTime now_ = 0;
+  Clock clock_;
   Rng rng_;
   bool stop_requested_ = false;
   uint64_t events_executed_ = 0;

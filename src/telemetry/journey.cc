@@ -186,6 +186,38 @@ void JourneyRecorder::NoteAnomaly(JourneyAnomaly why, SimTime) {
   CountAnomaly(why);
 }
 
+std::optional<JourneyRecord> JourneyRecorder::Detach(uint64_t id) {
+  if (!enabled_ || id == 0) {
+    return std::nullopt;
+  }
+  auto it = active_.find(id);
+  if (it == active_.end()) {
+    return std::nullopt;
+  }
+  JourneyRecord record = std::move(it->second);
+  active_.erase(it);
+  return record;
+}
+
+uint64_t JourneyRecorder::Adopt(JourneyRecord record, SimTime at) {
+  if (!enabled_) {
+    return 0;
+  }
+  if (active_.size() >= kMaxActive) {
+    active_.erase(active_.begin());
+    evicted_counter_->Increment();
+  }
+  const uint64_t id = next_id_++;
+  record.id = id;
+  ++record.hops;
+  record.stamps[static_cast<int>(JourneyStage::kRingTransit)] = at;
+  active_[id] = std::move(record);
+  // Counted as begun here too: per-recorder begun/completed stay balanced, and the fabric
+  // report subtracts hop adoptions when it wants the true packet count.
+  begun_counter_->Increment();
+  return id;
+}
+
 std::string JourneyRecorder::StageBreakdown() const {
   std::ostringstream os;
   os << "journey stage breakdown: begun " << begun() << ", completed " << completed_
@@ -246,6 +278,9 @@ std::string JourneyRecorder::FlightJson() const {
       os << "\"" << kAnomalyNames[record.anomaly] << "\"";
     } else {
       os << "null";
+    }
+    if (record.hops > 0 || record.origin_shard >= 0) {
+      os << ", \"hops\": " << record.hops << ", \"origin_shard\": " << record.origin_shard;
     }
     os << ", \"stages\": {";
     bool first = true;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "src/sim/time.h"
@@ -69,6 +70,11 @@ struct JourneyRecord {
   uint32_t seq = 0;
   bool complete = false;
   int anomaly = -1;  // JourneyAnomaly index, or -1
+  // Cross-shard provenance (fabric runs): the shard the packet was born on and the number
+  // of bridge handoffs it has survived. Single-simulation runs leave both at the defaults
+  // and the flight-recorder JSON omits them.
+  int origin_shard = -1;
+  int hops = 0;
   std::array<SimTime, kJourneyStageCount> stamps;
 
   JourneyRecord() { stamps.fill(kJourneyUnstamped); }
@@ -123,6 +129,19 @@ class JourneyRecorder {
   // Records an anomaly not tied to a live journey (a retransmit builds a fresh packet, so
   // it carries no id). Counts it and arms the post-run dump.
   void NoteAnomaly(JourneyAnomaly why, SimTime at);
+
+  // Cross-shard handoff, source side: removes the live journey from this recorder without
+  // folding or archiving it and returns the record so a fabric bridge can carry it to the
+  // destination shard. Returns nullopt for id 0, an unknown id, or when disabled — the
+  // bridge then just forwards the packet untracked.
+  std::optional<JourneyRecord> Detach(uint64_t id);
+
+  // Cross-shard handoff, destination side: re-homes a detached record under a fresh local
+  // id (returned; the bridge rewrites the packet's journey id to it), incrementing `hops`
+  // and stamping kRingTransit at `at` — the instant the packet crossed the inter-ring
+  // link. Stamps stay on the global timebase, so the folded per-stage deltas remain
+  // end-to-end across shards. Returns 0 when disabled.
+  uint64_t Adopt(JourneyRecord record, SimTime at);
 
   // True once any anomaly fired; the run harness uses this to auto-dump the flight ring.
   bool anomaly_fired() const { return anomaly_fired_; }

@@ -94,15 +94,19 @@ StreamStats StreamEndpoints::Stats() const {
 }
 
 CtmspRelay::CtmspRelay(Station* station, size_t in_port, size_t out_port,
-                       RingAddress next_hop) {
+                       RingAddress next_hop, Histogram* hop_latency) {
   TokenRingDriver* out = &station->driver(out_port);
-  station->driver(in_port).SetCtmspInput([this, out, next_hop](const Packet& packet,
-                                                               bool in_dma_buffer,
-                                                               std::function<void()> release) {
+  Simulation* sim = station->sim();
+  station->driver(in_port).SetCtmspInput([this, out, sim, next_hop, hop_latency](
+                                             const Packet& packet, bool in_dma_buffer,
+                                             std::function<void()> release) {
     Packet forward = packet;
     forward.dst = next_hop;
     forward.chain.reset();
     ++forwarded_;
+    if (hop_latency != nullptr) {
+      hop_latency->Add(sim->Now() - packet.created_at);
+    }
     // Via-mbufs in-port: the packet now lives in this station's mbufs and the out-port
     // driver copies it into its own fixed DMA buffer as usual. Zero-copy (in_dma_buffer):
     // the out-port transmit is just a descriptor flip, so the rx buffer can be released as
@@ -111,6 +115,19 @@ CtmspRelay::CtmspRelay(Station* station, size_t in_port, size_t out_port,
     release();
     (void)in_dma_buffer;
   });
+}
+
+CtmspTap::CtmspTap(Station* station, size_t in_port, Callback callback) {
+  station->driver(in_port).SetCtmspInput(
+      [this, callback = std::move(callback)](const Packet& packet, bool in_dma_buffer,
+                                             std::function<void()> release) {
+        Packet captured = packet;
+        captured.chain.reset();
+        ++captured_;
+        callback(captured);
+        release();
+        (void)in_dma_buffer;
+      });
 }
 
 }  // namespace ctms

@@ -6,12 +6,14 @@
 #ifndef SRC_TESTBED_STREAM_H_
 #define SRC_TESTBED_STREAM_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 
 #include "src/dev/disk.h"
 #include "src/dev/media_server.h"
 #include "src/dev/vca.h"
+#include "src/measure/histogram.h"
 #include "src/proto/ctmsp.h"
 #include "src/testbed/station.h"
 
@@ -105,12 +107,34 @@ class StreamEndpoints {
 // buffer through plus a zero-copy-tx out-port is the pointer-passing mode.
 class CtmspRelay {
  public:
-  CtmspRelay(Station* station, size_t in_port, size_t out_port, RingAddress next_hop);
+  // `hop_latency`, when given, records source-to-this-hop latency (arrival time minus the
+  // packet's creation stamp) for every forwarded packet — the per-hop row in the fabric and
+  // deep-chain router reports. The histogram must outlive the relay.
+  CtmspRelay(Station* station, size_t in_port, size_t out_port, RingAddress next_hop,
+             Histogram* hop_latency = nullptr);
 
   uint64_t forwarded() const { return forwarded_; }
 
  private:
   uint64_t forwarded_ = 0;
+};
+
+// CtmspTap: terminates a station's in-port CTMSP receive split point in a caller-supplied
+// callback instead of a sink or relay — the fabric bridge's capture point, where a packet
+// leaves its ring shard for an inter-ring link. The tap copies the descriptor and drops the
+// mbuf chain before invoking the callback (cross-shard packets are plain structs; the chain
+// belongs to this shard's kernel pool and must not cross the boundary), so the callback may
+// keep the packet indefinitely.
+class CtmspTap {
+ public:
+  using Callback = std::function<void(const Packet& packet)>;
+
+  CtmspTap(Station* station, size_t in_port, Callback callback);
+
+  uint64_t captured() const { return captured_; }
+
+ private:
+  uint64_t captured_ = 0;
 };
 
 }  // namespace ctms

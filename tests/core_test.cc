@@ -182,7 +182,7 @@ TEST(RouterTest, ZeroCopyForwardingIsCheaper) {
   zero.duration = Seconds(20);
   const RouterReport zero_report = RouterExperiment(zero).Run();
 
-  EXPECT_LT(zero_report.router_cpu_utilization, mbufs_report.router_cpu_utilization / 2.0);
+  EXPECT_LT(zero_report.router_cpu_utilization(), mbufs_report.router_cpu_utilization() / 2.0);
   // And faster: two eliminated copies of 2000 bytes each.
   EXPECT_LT(zero_report.end_to_end.Summary().mean,
             mbufs_report.end_to_end.Summary().mean - static_cast<double>(Milliseconds(3)));

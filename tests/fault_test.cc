@@ -6,7 +6,9 @@
 
 #include "src/core/experiment.h"
 #include "src/core/faultsweep.h"
+#include "src/core/report_stats.h"
 #include "src/core/scenario.h"
+#include "src/fabric/fabric.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/proto/degradation.h"
@@ -194,6 +196,38 @@ TEST(FaultInjectionTest, CongestionBurstAndOverrunAreInjected) {
   ASSERT_NE(injector, nullptr);
   EXPECT_EQ(injector->report().congestion_frames, 40u);
   EXPECT_EQ(injector->report().overrun_windows, 1u);
+}
+
+TEST(FaultInjectionTest, BridgeStallDropsAreDeterministicAndAccountedPerHop) {
+  auto run = []() {
+    FabricConfig config;
+    config.topology = FabricTopology::kChain;
+    config.rings = 2;
+    config.stations_per_ring = 4;
+    config.duration = Seconds(5);
+    config.fault_shard = 1;
+    // Freeze the receiving bridge's driver tx path for ~125 stream periods: the fabric
+    // keeps injecting the 0 -> 1 flow into its CTMSP queue, StartNextTx refuses to drain
+    // it while frozen, so the 50-deep queue overflows and every overflow must show up in
+    // that hop's row. (An adapter-component stall would not do this — a stalled card
+    // still consumes frames, completing them kAdapterStalled without touching the wire.)
+    config.faults.Add(
+        FaultPlan::AdapterStall(Seconds(1), Milliseconds(1500), "bridge0", "driver"));
+    FabricExperiment experiment(config);
+    const FabricReport report = experiment.Run();
+    EXPECT_NE(experiment.shard(1).fault_injector(), nullptr);
+    return report;
+  };
+  const FabricReport report = run();
+  ASSERT_EQ(report.hops.size(), 2u);
+  // Drops land on the stalled direction's row and nowhere else — no silent loss.
+  EXPECT_GT(report.hops[0].queue_drops, 0u);  // s0 -> s1 injects at the stalled bridge
+  EXPECT_EQ(report.hops[1].queue_drops, 0u);  // s1 -> s0 is untouched
+  EXPECT_GT(report.packets_lost, 0u);         // the receiver observes the gaps
+  EXPECT_GE(report.packets_lost, report.hops[0].queue_drops);
+  EXPECT_FALSE(report.Healthy());
+  // Bit-for-bit reproducible: the whole per-hop stat list, not just headline counters.
+  EXPECT_EQ(SummaryStats(report), SummaryStats(run()));
 }
 
 // --- faultsweep ---------------------------------------------------------------------------

@@ -289,11 +289,11 @@ TEST(GoldenEquivalence, RouterViaMbufsTenSecondsSeed2) {
   EXPECT_EQ(r.packets_forwarded, 832u);
   EXPECT_EQ(r.packets_delivered, 830u);
   EXPECT_EQ(r.packets_lost, 0u);
-  EXPECT_EQ(r.router_queue_drops, 0u);
+  EXPECT_EQ(r.router_queue_drops(), 0u);
   EXPECT_EQ(r.sink_underruns, 0u);
-  EXPECT_NEAR(r.router_cpu_utilization, 0.408207773400, 1e-9);
-  EXPECT_NEAR(r.ring_a_utilization, 0.344999800000, 1e-9);
-  EXPECT_NEAR(r.ring_b_utilization, 0.343060425000, 1e-9);
+  EXPECT_NEAR(r.router_cpu_utilization(), 0.408207773400, 1e-9);
+  EXPECT_NEAR(r.ring_a_utilization(), 0.344999800000, 1e-9);
+  EXPECT_NEAR(r.ring_b_utilization(), 0.343060425000, 1e-9);
   ASSERT_FALSE(r.end_to_end.empty());
   EXPECT_EQ(r.end_to_end.Summary().min, 32411604);
   EXPECT_NEAR(r.end_to_end.Summary().mean, 32912288.467470, 1e-3);
@@ -309,11 +309,11 @@ TEST(GoldenEquivalence, RouterZeroCopyTenSecondsSeed2) {
   EXPECT_EQ(r.packets_forwarded, 832u);
   EXPECT_EQ(r.packets_delivered, 831u);
   EXPECT_EQ(r.packets_lost, 0u);
-  EXPECT_EQ(r.router_queue_drops, 0u);
+  EXPECT_EQ(r.router_queue_drops(), 0u);
   EXPECT_EQ(r.sink_underruns, 0u);
-  EXPECT_NEAR(r.router_cpu_utilization, 0.071811881700, 1e-9);
-  EXPECT_NEAR(r.ring_a_utilization, 0.344999800000, 1e-9);
-  EXPECT_NEAR(r.ring_b_utilization, 0.343060425000, 1e-9);
+  EXPECT_NEAR(r.router_cpu_utilization(), 0.071811881700, 1e-9);
+  EXPECT_NEAR(r.ring_a_utilization(), 0.344999800000, 1e-9);
+  EXPECT_NEAR(r.ring_b_utilization(), 0.343060425000, 1e-9);
   ASSERT_FALSE(r.end_to_end.empty());
   EXPECT_EQ(r.end_to_end.Summary().min, 28348868);
   EXPECT_NEAR(r.end_to_end.Summary().mean, 28735800.714458, 1e-3);

@@ -44,12 +44,21 @@ void PrintUsage() {
       "ctms_sim — reproduce the USENIX'91 CTMS experiments\n\n"
       "experiment selection:\n"
       "  --experiment=NAME     ctms (default), baseline, multistream, server, router,\n"
-      "                        faultsweep, or campaign\n"
+      "                        faultsweep, fabric, or campaign\n"
       "  --scenario=A|B        Test Case A (private quiet ring) or B (loaded public ring)\n"
       "  --baseline            shorthand for --experiment=baseline\n"
       "  --tcp                 baseline uses TCP-lite instead of UDP\n"
       "  --streams=N           multistream: concurrent CTMSP connections (default 2)\n"
-      "  --clients=N           server: client machines fed from one media disk (default 2)\n\n"
+      "  --clients=N           server: client machines fed from one media disk (default 2)\n"
+      "  --chain-hops=N        router: store-and-forward bridges in the chain (default 1)\n\n"
+      "fabric (--experiment=fabric, sharded multi-ring campus):\n"
+      "  --rings=N             ring shards, one event core each (default 4)\n"
+      "  --stations-per-ring=N stations on each shard ring (default 8)\n"
+      "  --fabric-topology=T   chain, star, or ring-of-rings (default)\n"
+      "  --link-latency-us=N   inter-ring link latency; also the conservative-lookahead\n"
+      "                        window (default 500)\n"
+      "  --jobs=N              shard worker threads; the report is byte-identical for\n"
+      "                        every N (default 1)\n\n"
       "stream and environment:\n"
       "  --duration=SECONDS    simulated run length (default 30)\n"
       "  --seed=N              simulation seed (default 1)\n"
@@ -332,6 +341,38 @@ int RunFaultSweep(const ScenarioConfig& options) {
   return healthy ? 0 : 2;
 }
 
+int RunFabric(const ScenarioConfig& options) {
+  FabricExperiment experiment(FabricConfigFrom(options));
+  const FabricReport report = experiment.Run();
+  std::cout << report.Summary();
+  RunSummaryInfo info = MakeInfo(options, "fabric");
+  info.stats = SummaryStats(report);
+  if (!options.faults.events().empty()) {
+    AttachFaultReport(&info,
+                      experiment.shard(static_cast<size_t>(report.config.fault_shard)));
+  }
+  // A fabric is many simulations, so the single-sim EmitTelemetry path does not apply;
+  // merge every shard's registry under "shard<i>." and export that one document.
+  MetricsRegistry merged;
+  experiment.MergeMetricsInto(&merged);
+  if (options.print_metrics) {
+    std::printf("telemetry counters:\n");
+    for (const auto& [name, counter] : merged.counters()) {
+      std::printf("  %-48s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    }
+  }
+  if (!options.metrics_json.empty()) {
+    if (WriteRunSummaryJson(merged, info, options.metrics_json)) {
+      std::printf("wrote %s\n", options.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_json.c_str());
+      return 1;
+    }
+  }
+  return report.Healthy() ? 0 : 2;
+}
+
 int RunCampaign(const ScenarioConfig& options) {
   std::string error;
   auto grid = CampaignGrid::Parse(options.grid_spec, &error);
@@ -440,6 +481,9 @@ int main(int argc, char** argv) {
   }
   if (options.experiment == "faultsweep") {
     return RunFaultSweep(options);
+  }
+  if (options.experiment == "fabric") {
+    return RunFabric(options);
   }
   if (options.experiment == "campaign") {
     return RunCampaign(options);
